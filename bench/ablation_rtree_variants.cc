@@ -1,0 +1,71 @@
+// Ablation (beyond the paper): what does the R*-tree buy the parallel
+// join over the original Guttman R-tree? Same maps, same join variant
+// (gd + reassignment on all levels, n = d = 8, buffer 800), different
+// index construction.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "data/map_builder.h"
+#include "util/string_util.h"
+
+namespace psj {
+namespace {
+
+void RunVariant(const char* label, const RTreeOptions& options) {
+  const PaperWorkload& base = bench::GetWorkload();
+  const RStarTree tree_r =
+      BuildTreeFromObjects(1, base.store_r().objects(),
+                           TreeBuildMethod::kInsertion, options);
+  const RStarTree tree_s =
+      BuildTreeFromObjects(2, base.store_s().objects(),
+                           TreeBuildMethod::kInsertion, options);
+  const auto stats_r = tree_r.ComputeShapeStats();
+
+  ParallelJoinConfig config = ParallelJoinConfig::Gd();
+  config.reassignment = ReassignmentLevel::kAllLevels;
+  config.num_processors = 8;
+  config.num_disks = 8;
+  config.total_buffer_pages = 800;
+  ParallelSpatialJoin join(&tree_r, &tree_s, &base.store_r(),
+                           &base.store_s());
+  auto result = join.Run(config);
+  if (!result.ok()) {
+    std::printf("%-22s ERROR %s\n", label,
+                result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-22s %8s %8.0f%% %12s %14s %12s\n", label,
+              FormatWithCommas(stats_r.num_data_pages +
+                               stats_r.num_dir_pages)
+                  .c_str(),
+              stats_r.avg_data_fill * 100.0,
+              FormatMicrosAsSeconds(result->stats.response_time).c_str(),
+              FormatWithCommas(result->stats.total_disk_accesses).c_str(),
+              FormatWithCommas(result->stats.total_candidates).c_str());
+}
+
+}  // namespace
+}  // namespace psj
+
+int main() {
+  using namespace psj;
+  bench::PrintHeader(
+      "Ablation: R-tree family members under the parallel join "
+      "(gd, n = d = 8, buffer 800; tree1 page counts shown)",
+      "identical candidates from every variant; the R* split produces the "
+      "best-packed tree and the fewest disk accesses, quadratic is close, "
+      "linear trails — the reason the paper builds on R*-trees");
+
+  std::printf("%-22s %8s %8s %12s %14s %12s\n", "variant", "pages",
+              "fill", "resp (s)", "disk accesses", "candidates");
+  RTreeOptions rstar;
+  RunVariant("R* [BKSS 90]", rstar);
+  RunVariant("Guttman quadratic", RTreeOptions::ClassicGuttman());
+  RTreeOptions linear = RTreeOptions::ClassicGuttman();
+  linear.split_algorithm = SplitAlgorithm::kLinear;
+  RunVariant("Guttman linear", linear);
+  RTreeOptions no_reinsert;
+  no_reinsert.enable_forced_reinsert = false;
+  RunVariant("R* w/o reinsertion", no_reinsert);
+  return 0;
+}

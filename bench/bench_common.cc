@@ -1,0 +1,56 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "util/check.h"
+
+namespace psj::bench {
+
+double BenchScale() {
+  const char* env = std::getenv("PSJ_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+const PaperWorkload& GetWorkload() {
+  static const PaperWorkload* workload = [] {
+    const char* cache_env = std::getenv("PSJ_BENCH_CACHE_DIR");
+    const std::string cache_dir = cache_env != nullptr ? cache_env : "/tmp";
+    PaperWorkloadSpec spec;
+    const double scale = BenchScale();
+    if (scale != 1.0) {
+      spec = spec.Scaled(scale);
+    }
+    std::fprintf(stderr,
+                 "[bench] preparing workload (scale %.2f, %d + %d objects, "
+                 "cache %s)...\n",
+                 scale, spec.streets.num_objects, spec.mixed.num_objects,
+                 cache_dir.c_str());
+    auto result = PaperWorkload::LoadOrBuildCached(spec, cache_dir);
+    PSJ_CHECK(result.ok()) << result.status().ToString();
+    std::fprintf(stderr, "[bench] workload ready.\n");
+    return result.value().release();
+  }();
+  return *workload;
+}
+
+void PrintHeader(const char* artifact, const char* expectation) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", artifact);
+  std::printf("Brinkhoff/Kriegel/Seeger, \"Parallel Processing of Spatial "
+              "Joins Using R-trees\", ICDE 1996\n");
+  std::printf("Expected shape: %s\n", expectation);
+  std::printf("(workload scale %.2f; absolute numbers are calibrated, the "
+              "shape is the result)\n",
+              BenchScale());
+  std::printf("==============================================================="
+              "=\n");
+}
+
+}  // namespace psj::bench

@@ -1,0 +1,24 @@
+#ifndef PSJ_BENCH_BENCH_COMMON_H_
+#define PSJ_BENCH_BENCH_COMMON_H_
+
+#include "core/experiment.h"
+
+namespace psj::bench {
+
+/// Workload scale factor from the environment variable PSJ_BENCH_SCALE
+/// (default 1.0 = the paper's 131,443 / 127,312 objects). Use e.g.
+/// PSJ_BENCH_SCALE=0.1 for a quick smoke run of every harness.
+double BenchScale();
+
+/// The shared experiment input at BenchScale(), built on first use and
+/// cached on disk under PSJ_BENCH_CACHE_DIR (default: /tmp) so repeated
+/// bench binaries skip the R*-tree construction.
+const PaperWorkload& GetWorkload();
+
+/// Prints the standard harness header: which paper artifact this
+/// reproduces and what qualitative shape to expect.
+void PrintHeader(const char* artifact, const char* expectation);
+
+}  // namespace psj::bench
+
+#endif  // PSJ_BENCH_BENCH_COMMON_H_

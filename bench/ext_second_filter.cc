@@ -1,0 +1,55 @@
+// Extension ([BKSS 94]/[BKS 94], referenced in §2.1): the second filter
+// step. Candidates are screened with per-object section MBRs before the
+// expensive exact-geometry test; proven false hits skip the refinement
+// waiting period entirely.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+
+namespace psj {
+namespace {
+
+void RunRow(const char* label, bool enabled, int sections) {
+  const PaperWorkload& workload = bench::GetWorkload();
+  ParallelJoinConfig config = ParallelJoinConfig::Gd();
+  config.reassignment = ReassignmentLevel::kAllLevels;
+  config.num_processors = 8;
+  config.num_disks = 8;
+  config.total_buffer_pages = 800;
+  config.use_second_filter = enabled;
+  config.second_filter_sections = sections;
+  auto result = workload.RunJoin(config);
+  if (!result.ok()) {
+    std::printf("%-24s ERROR %s\n", label,
+                result.status().ToString().c_str());
+    return;
+  }
+  const JoinStats& stats = result->stats;
+  std::printf("%-24s %12s %12s %12s %12s %12s\n", label,
+              FormatMicrosAsSeconds(stats.response_time).c_str(),
+              FormatWithCommas(stats.total_candidates).c_str(),
+              FormatWithCommas(stats.total_second_filter_eliminated).c_str(),
+              FormatWithCommas(stats.total_answers).c_str(),
+              FormatMicrosAsSeconds(stats.total_task_time).c_str());
+}
+
+}  // namespace
+}  // namespace psj
+
+int main() {
+  psj::bench::PrintHeader(
+      "Extension: second filter step with section MBRs (gd, n = d = 8, "
+      "buffer 800)",
+      "answers are identical; every candidate proven a false hit by the "
+      "section approximation skips its 2-18 ms exact test, cutting "
+      "response and total task time; more sections eliminate more but "
+      "cost more section tests");
+  std::printf("%-24s %12s %12s %12s %12s %12s\n", "variant", "resp (s)",
+              "candidates", "eliminated", "answers", "task time");
+  psj::RunRow("no second filter", false, 1);
+  psj::RunRow("2 sections", true, 2);
+  psj::RunRow("4 sections", true, 4);
+  psj::RunRow("8 sections", true, 8);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Spatial analytics: one dataset, all three operators — parallel window
+// queries of growing selectivity, nearest-neighbor lookups, and a join
+// against a second map — the "larger framework for parallel spatial query
+// processing" the paper's conclusions sketch.
+//
+//   ./build/examples/spatial_analytics
+#include <cstdio>
+
+#include "core/parallel_join.h"
+#include "core/parallel_window_query.h"
+#include "data/generator.h"
+#include "data/map_builder.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace psj;
+
+  const Geography geography = Geography::Generate(2026, 60);
+  StreetsSpec streets;
+  streets.num_objects = 25'000;
+  MixedSpec mixed;
+  mixed.num_objects = 20'000;
+  const ObjectStore store_r(GenerateStreetsMap(geography, streets));
+  const ObjectStore store_s(GenerateMixedMap(geography, mixed));
+  const RStarTree tree_r = BuildTreeFromObjects(1, store_r.objects());
+  const RStarTree tree_s = BuildTreeFromObjects(2, store_s.objects());
+  std::printf("dataset: %zu streets, %zu boundary/river/rail fragments\n\n",
+              store_r.size(), store_s.size());
+
+  // --- Parallel window queries over the streets map ---
+  std::printf("window queries on 8 CPUs / 8 disks:\n");
+  std::printf("%-28s %12s %12s %12s\n", "window", "resp (s)", "candidates",
+              "answers");
+  ParallelWindowQuery window_query(&tree_r, &store_r);
+  const struct {
+    const char* label;
+    Rect rect;
+  } windows[] = {
+      {"1% of the world", Rect(0.45, 0.45, 0.55, 0.55)},
+      {"9%", Rect(0.35, 0.35, 0.65, 0.65)},
+      {"49%", Rect(0.15, 0.15, 0.85, 0.85)},
+  };
+  for (const auto& w : windows) {
+    WindowQueryConfig config;
+    config.num_processors = 8;
+    config.num_disks = 8;
+    config.total_buffer_pages = 400;
+    auto result = window_query.Run(w.rect, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "window query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-28s %12s %12s %12s\n", w.label,
+                FormatMicrosAsSeconds(result->stats.response_time).c_str(),
+                FormatWithCommas(result->stats.total_candidates).c_str(),
+                FormatWithCommas(result->stats.total_answers).c_str());
+  }
+
+  // --- Nearest neighbors around the biggest city ---
+  const Point downtown = geography.centers.front();
+  std::printf("\n5 street segments nearest to the largest center "
+              "(%.3f, %.3f):\n",
+              downtown.x, downtown.y);
+  for (const auto& neighbor : tree_r.KnnQuery(downtown, 5)) {
+    std::printf("  object %6llu at MBR distance %.5f\n",
+                static_cast<unsigned long long>(neighbor.object_id),
+                neighbor.distance);
+  }
+
+  // --- The join, with the second filter step enabled ---
+  ParallelJoinConfig config = ParallelJoinConfig::Gd();
+  config.reassignment = ReassignmentLevel::kAllLevels;
+  config.num_processors = 8;
+  config.num_disks = 8;
+  config.total_buffer_pages = 800;
+  config.use_second_filter = true;
+  ParallelSpatialJoin join(&tree_r, &tree_s, &store_r, &store_s);
+  auto result = join.Run(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\njoin with second filter step:\n%s",
+              result->stats.Summary().c_str());
+  std::printf("second filter eliminated %s of %s candidates before the "
+              "exact test\n",
+              FormatWithCommas(
+                  result->stats.total_second_filter_eliminated)
+                  .c_str(),
+              FormatWithCommas(result->stats.total_candidates).c_str());
+  return 0;
+}

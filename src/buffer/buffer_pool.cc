@@ -1,0 +1,200 @@
+#include "buffer/buffer_pool.h"
+
+#include "util/check.h"
+
+namespace psj {
+
+std::vector<size_t> SplitBufferCapacity(size_t total_pages,
+                                        int num_processors) {
+  PSJ_CHECK_GT(num_processors, 0);
+  const size_t n = static_cast<size_t>(num_processors);
+  std::vector<size_t> capacities(n, total_pages / n);
+  for (size_t i = 0; i < total_pages % n; ++i) {
+    ++capacities[i];
+  }
+  return capacities;
+}
+
+namespace {
+
+std::vector<LruBuffer> MakeBuffers(int num_processors, size_t total_pages) {
+  std::vector<LruBuffer> buffers;
+  buffers.reserve(static_cast<size_t>(num_processors));
+  for (size_t capacity : SplitBufferCapacity(total_pages, num_processors)) {
+    buffers.emplace_back(capacity);
+  }
+  return buffers;
+}
+
+}  // namespace
+
+LocalBufferPool::LocalBufferPool(int num_processors, size_t total_pages,
+                                 DiskArrayModel* disks, BufferCosts costs)
+    : disks_(disks),
+      costs_(costs),
+      buffers_(MakeBuffers(num_processors, total_pages)),
+      stats_(static_cast<size_t>(num_processors)) {
+  PSJ_CHECK(disks != nullptr);
+}
+
+PageSource LocalBufferPool::FetchPage(sim::Process& p, const PageId& page,
+                                      bool is_data_page) {
+  const size_t cpu = static_cast<size_t>(p.id());
+  PSJ_CHECK_LT(cpu, buffers_.size());
+  LruBuffer& buffer = buffers_[cpu];
+  BufferAccessStats& stats = stats_[cpu];
+  if (buffer.Touch(page)) {
+    p.Advance(costs_.local_hit);
+    ++stats.local_hits;
+    return PageSource::kLocalBufferHit;
+  }
+  disks_->ReadPage(p, page, is_data_page);
+  buffer.InsertAndMaybeEvict(page);
+  ++stats.disk_reads;
+  if (is_data_page) {
+    ++stats.disk_reads_data_pages;
+  }
+  return PageSource::kDiskRead;
+}
+
+const BufferAccessStats& LocalBufferPool::stats(int cpu) const {
+  return stats_[static_cast<size_t>(cpu)];
+}
+
+GlobalBufferPool::GlobalBufferPool(int num_processors, size_t total_pages,
+                                   DiskArrayModel* disks, BufferCosts costs)
+    : disks_(disks),
+      costs_(costs),
+      buffers_(MakeBuffers(num_processors, total_pages)),
+      stats_(static_cast<size_t>(num_processors)) {
+  PSJ_CHECK(disks != nullptr);
+}
+
+int GlobalBufferPool::OwnerOf(const PageId& page) const {
+  auto it = directory_.find(page);
+  return it == directory_.end() ? -1 : it->second;
+}
+
+PageSource GlobalBufferPool::FetchPage(sim::Process& p, const PageId& page,
+                                       bool is_data_page) {
+  const int cpu = p.id();
+  PSJ_CHECK_LT(static_cast<size_t>(cpu), buffers_.size());
+  BufferAccessStats& stats = stats_[static_cast<size_t>(cpu)];
+
+  // The directory lives in shared virtual memory: establish virtual-time
+  // order before reading it, then charge the lookup/locking cost.
+  p.Sync();
+  p.Advance(costs_.directory_access);
+  const int owner = OwnerOf(page);
+
+  if (owner == cpu) {
+    p.Advance(costs_.local_hit);
+    buffers_[static_cast<size_t>(cpu)].Touch(page);
+    ++stats.local_hits;
+    return PageSource::kLocalBufferHit;
+  }
+  if (owner >= 0) {
+    // Resident in another processor's partition: transfer over the network
+    // without duplicating it in the requester's buffer (the global buffer
+    // keeps one copy per page). The access refreshes the page's recency in
+    // its owner's LRU.
+    p.Advance(costs_.remote_hit);
+    buffers_[static_cast<size_t>(owner)].Touch(page);
+    ++stats.remote_hits;
+    return PageSource::kRemoteBufferHit;
+  }
+
+  // True miss: read from disk into the requester's partition.
+  disks_->ReadPage(p, page, is_data_page);
+  LruBuffer& buffer = buffers_[static_cast<size_t>(cpu)];
+  // Between the directory probe and the disk-read completion other
+  // processors may have fetched the same page; re-check so the directory
+  // never maps one page to two owners.
+  p.Sync();
+  const int owner_now = OwnerOf(page);
+  if (owner_now < 0) {
+    const std::optional<PageId> evicted = buffer.InsertAndMaybeEvict(page);
+    if (evicted.has_value() && *evicted != page) {
+      directory_.erase(*evicted);
+    }
+    if (buffer.Contains(page)) {
+      directory_[page] = cpu;
+    }
+  }
+  ++stats.disk_reads;
+  if (is_data_page) {
+    ++stats.disk_reads_data_pages;
+  }
+  return PageSource::kDiskRead;
+}
+
+const BufferAccessStats& GlobalBufferPool::stats(int cpu) const {
+  return stats_[static_cast<size_t>(cpu)];
+}
+
+SharedNothingBufferPool::SharedNothingBufferPool(int num_processors,
+                                                 size_t total_pages,
+                                                 DiskArrayModel* disks,
+                                                 BufferCosts costs)
+    : disks_(disks),
+      costs_(costs),
+      buffers_(MakeBuffers(num_processors, total_pages)),
+      stats_(static_cast<size_t>(num_processors)) {
+  PSJ_CHECK(disks != nullptr);
+}
+
+int SharedNothingBufferPool::OwnerOf(const PageId& page) const {
+  return disks_->DiskOf(page) % num_processors();
+}
+
+PageSource SharedNothingBufferPool::FetchPage(sim::Process& p,
+                                              const PageId& page,
+                                              bool is_data_page) {
+  const int cpu = p.id();
+  PSJ_CHECK_LT(static_cast<size_t>(cpu), buffers_.size());
+  BufferAccessStats& stats = stats_[static_cast<size_t>(cpu)];
+  const int owner = OwnerOf(page);
+  LruBuffer& owner_buffer = buffers_[static_cast<size_t>(owner)];
+
+  if (owner == cpu) {
+    if (owner_buffer.Touch(page)) {
+      p.Advance(costs_.local_hit);
+      ++stats.local_hits;
+      return PageSource::kLocalBufferHit;
+    }
+    disks_->ReadPage(p, page, is_data_page);
+    owner_buffer.InsertAndMaybeEvict(page);
+    ++stats.disk_reads;
+    if (is_data_page) {
+      ++stats.disk_reads_data_pages;
+    }
+    return PageSource::kDiskRead;
+  }
+
+  // Foreign page: request it from the owner. The request/response messaging
+  // is charged to the requester; the owner's buffer state decides whether
+  // its disk must work. (The owner-side CPU is not modeled as a resource —
+  // serving a buffered page is memory-bound on the interconnect.)
+  p.Sync();
+  p.Advance(costs_.rpc_request);
+  if (owner_buffer.Touch(page)) {
+    p.Advance(costs_.remote_hit);
+    ++stats.remote_hits;
+    return PageSource::kRemoteBufferHit;
+  }
+  disks_->ReadPage(p, page, is_data_page);
+  p.Sync();
+  owner_buffer.InsertAndMaybeEvict(page);
+  p.Advance(costs_.remote_hit);
+  ++stats.disk_reads;
+  if (is_data_page) {
+    ++stats.disk_reads_data_pages;
+  }
+  return PageSource::kDiskRead;
+}
+
+const BufferAccessStats& SharedNothingBufferPool::stats(int cpu) const {
+  return stats_[static_cast<size_t>(cpu)];
+}
+
+}  // namespace psj

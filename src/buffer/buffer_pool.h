@@ -1,0 +1,178 @@
+#ifndef PSJ_BUFFER_BUFFER_POOL_H_
+#define PSJ_BUFFER_BUFFER_POOL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/lru_buffer.h"
+#include "sim/simulation.h"
+#include "storage/disk_array.h"
+#include "storage/page.h"
+
+namespace psj {
+
+/// Where a requested page was found; drives both cost accounting and the
+/// per-processor statistics reported by the experiments.
+enum class PageSource {
+  kLocalBufferHit,
+  kRemoteBufferHit,  // Global buffer only: page resident at another CPU.
+  kDiskRead,
+};
+
+/// Virtual-time costs of buffer accesses, from the paper's Table 2 / §3.2:
+/// accessing the own local buffer is about a factor 10 faster than accessing
+/// the buffer of another processor over the SVM network.
+struct BufferCosts {
+  sim::SimTime local_hit = 100;          // 0.1 ms: local memory page copy.
+  sim::SimTime remote_hit = 1000;        // 1 ms: remote memory page copy.
+  sim::SimTime directory_access = 20;    // Global directory lookup + lock.
+  /// Shared-nothing extension: request/response overhead of asking the
+  /// owning processor for a page over the interconnect (no SVM).
+  sim::SimTime rpc_request = 500;
+};
+
+/// Per-processor access counters maintained by the pools.
+struct BufferAccessStats {
+  int64_t local_hits = 0;
+  int64_t remote_hits = 0;
+  int64_t disk_reads = 0;
+  int64_t disk_reads_data_pages = 0;
+
+  int64_t total_accesses() const {
+    return local_hits + remote_hits + disk_reads;
+  }
+};
+
+/// \brief Abstract page-fetch service shared by the join executors.
+///
+/// A fetch charges all virtual time needed for processor `p` to obtain the
+/// page — buffer lookup, possible network transfer, possible disk read — and
+/// maintains residency and statistics.
+class BufferPool {
+ public:
+  virtual ~BufferPool() = default;
+
+  /// Obtains `page` for processor `p` (charging virtual time) and returns
+  /// where it was found. `is_data_page` selects the data-page-plus-cluster
+  /// disk cost and is recorded in the statistics.
+  virtual PageSource FetchPage(sim::Process& p, const PageId& page,
+                               bool is_data_page) = 0;
+
+  /// Per-processor statistics; `cpu` in [0, num_processors).
+  virtual const BufferAccessStats& stats(int cpu) const = 0;
+
+  virtual int num_processors() const = 0;
+};
+
+/// \brief Independent per-processor LRU buffers (§3.1): the shared-nothing /
+/// shared-disk organization. A page may be resident at several processors,
+/// and a processor never benefits from pages buffered elsewhere.
+class LocalBufferPool : public BufferPool {
+ public:
+  /// Divides `total_pages` of buffer capacity evenly over the processors
+  /// (remainder to the lowest-numbered ones), as the experiments do.
+  LocalBufferPool(int num_processors, size_t total_pages,
+                  DiskArrayModel* disks, BufferCosts costs);
+
+  PageSource FetchPage(sim::Process& p, const PageId& page,
+                       bool is_data_page) override;
+
+  const BufferAccessStats& stats(int cpu) const override;
+  int num_processors() const override {
+    return static_cast<int>(buffers_.size());
+  }
+
+  const LruBuffer& buffer(int cpu) const {
+    return buffers_[static_cast<size_t>(cpu)];
+  }
+
+ private:
+  DiskArrayModel* const disks_;
+  const BufferCosts costs_;
+  std::vector<LruBuffer> buffers_;
+  std::vector<BufferAccessStats> stats_;
+};
+
+/// \brief The SVM global buffer (§3.2): the union of all local buffers with
+/// a shared page → owner directory.
+///
+/// A page is resident at most once across the union. A processor missing
+/// locally but hitting another processor's buffer transfers the page over
+/// the network (remote cost, ~10× the local cost) without duplicating it; a
+/// true miss reads from disk into the requester's partition. Evictions keep
+/// the directory consistent.
+class GlobalBufferPool : public BufferPool {
+ public:
+  GlobalBufferPool(int num_processors, size_t total_pages,
+                   DiskArrayModel* disks, BufferCosts costs);
+
+  PageSource FetchPage(sim::Process& p, const PageId& page,
+                       bool is_data_page) override;
+
+  const BufferAccessStats& stats(int cpu) const override;
+  int num_processors() const override {
+    return static_cast<int>(buffers_.size());
+  }
+
+  const LruBuffer& buffer(int cpu) const {
+    return buffers_[static_cast<size_t>(cpu)];
+  }
+
+  /// Owner processor of a resident page, or -1. Exposed for tests.
+  int OwnerOf(const PageId& page) const;
+
+ private:
+  DiskArrayModel* const disks_;
+  const BufferCosts costs_;
+  std::vector<LruBuffer> buffers_;
+  std::vector<BufferAccessStats> stats_;
+  std::unordered_map<PageId, int, PageIdHash> directory_;
+};
+
+/// \brief Shared-nothing buffer organization (our extension, after the
+/// paper's §5 future work): every page has an *owning* processor — the one
+/// whose disks hold it — and only the owner buffers it.
+///
+/// A processor fetching a foreign page sends a request to the owner (RPC
+/// overhead), which serves it from its buffer or its disk and transfers it
+/// back (remote-copy cost). There is no shared memory: the union-buffer
+/// advantage of the SVM global buffer is kept (one copy per page), but
+/// every foreign access pays messaging, and disk placement decides which
+/// processor does the I/O work.
+class SharedNothingBufferPool : public BufferPool {
+ public:
+  SharedNothingBufferPool(int num_processors, size_t total_pages,
+                          DiskArrayModel* disks, BufferCosts costs);
+
+  PageSource FetchPage(sim::Process& p, const PageId& page,
+                       bool is_data_page) override;
+
+  const BufferAccessStats& stats(int cpu) const override;
+  int num_processors() const override {
+    return static_cast<int>(buffers_.size());
+  }
+
+  /// The processor owning a page: the one its disk belongs to (disks are
+  /// divided round-robin over the processors).
+  int OwnerOf(const PageId& page) const;
+
+  const LruBuffer& buffer(int cpu) const {
+    return buffers_[static_cast<size_t>(cpu)];
+  }
+
+ private:
+  DiskArrayModel* const disks_;
+  const BufferCosts costs_;
+  std::vector<LruBuffer> buffers_;
+  std::vector<BufferAccessStats> stats_;
+};
+
+/// Splits `total_pages` across `num_processors` buffers, remainder going to
+/// the lowest-numbered processors. Exposed for tests.
+std::vector<size_t> SplitBufferCapacity(size_t total_pages,
+                                        int num_processors);
+
+}  // namespace psj
+
+#endif  // PSJ_BUFFER_BUFFER_POOL_H_

@@ -1,0 +1,58 @@
+#include "buffer/lru_buffer.h"
+
+#include "util/check.h"
+
+namespace psj {
+
+LruBuffer::LruBuffer(size_t capacity) : capacity_(capacity) {}
+
+bool LruBuffer::Contains(const PageId& page) const {
+  return map_.find(page) != map_.end();
+}
+
+bool LruBuffer::Touch(const PageId& page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) {
+    return false;
+  }
+  lru_list_.splice(lru_list_.begin(), lru_list_, it->second);
+  return true;
+}
+
+std::optional<PageId> LruBuffer::InsertAndMaybeEvict(const PageId& page) {
+  if (Touch(page)) {
+    return std::nullopt;
+  }
+  if (capacity_ == 0) {
+    return page;
+  }
+  std::optional<PageId> evicted;
+  if (map_.size() >= capacity_) {
+    const PageId victim = lru_list_.back();
+    lru_list_.pop_back();
+    map_.erase(victim);
+    evicted = victim;
+  }
+  lru_list_.push_front(page);
+  map_[page] = lru_list_.begin();
+  return evicted;
+}
+
+bool LruBuffer::Erase(const PageId& page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) {
+    return false;
+  }
+  lru_list_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+std::optional<PageId> LruBuffer::LeastRecentlyUsed() const {
+  if (lru_list_.empty()) {
+    return std::nullopt;
+  }
+  return lru_list_.back();
+}
+
+}  // namespace psj

@@ -1,0 +1,55 @@
+#ifndef PSJ_BUFFER_LRU_BUFFER_H_
+#define PSJ_BUFFER_LRU_BUFFER_H_
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "storage/page.h"
+
+namespace psj {
+
+/// \brief Page-granular LRU buffer directory in the style of [GR 93]
+/// (Gray/Reuter), as used for the experiments in §4.2.
+///
+/// Tracks *which* pages are resident (capacity counted in R*-tree pages; the
+/// page bytes live in the page files). Insertion of a new page evicts the
+/// least recently used page when full and reports it, so enclosing pools can
+/// maintain their global directory.
+class LruBuffer {
+ public:
+  /// `capacity` is the number of pages the buffer can hold; a capacity of 0
+  /// is allowed and makes every lookup a miss.
+  explicit LruBuffer(size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return map_.size(); }
+
+  /// True iff the page is resident (does not update recency).
+  bool Contains(const PageId& page) const;
+
+  /// Marks the page most recently used. Returns false if not resident.
+  bool Touch(const PageId& page);
+
+  /// Inserts `page` as most recently used. If the buffer is full, evicts and
+  /// returns the least recently used page. Inserting an already-resident
+  /// page just touches it. With capacity 0, returns `page` itself (nothing
+  /// can be cached).
+  std::optional<PageId> InsertAndMaybeEvict(const PageId& page);
+
+  /// Removes the page if resident; returns whether it was.
+  bool Erase(const PageId& page);
+
+  /// Least recently used page, if any (does not update recency).
+  std::optional<PageId> LeastRecentlyUsed() const;
+
+ private:
+  size_t capacity_;
+  // Front = most recently used, back = least recently used.
+  std::list<PageId> lru_list_;
+  std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> map_;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_BUFFER_LRU_BUFFER_H_

@@ -1,0 +1,42 @@
+#include "buffer/path_buffer.h"
+
+#include "util/check.h"
+
+namespace psj {
+
+PathBuffer::PathBuffer(int height) : height_(height) {
+  PSJ_CHECK_GE(height, 0);
+}
+
+bool PathBuffer::Contains(const PageId& page, int level) const {
+  if (level >= height_) {
+    return false;
+  }
+  auto it = paths_.find(page.file_id);
+  if (it == paths_.end()) {
+    return false;
+  }
+  return it->second[static_cast<size_t>(level)] == page;
+}
+
+void PathBuffer::Enter(const PageId& page, int level) {
+  if (level >= height_) {
+    return;
+  }
+  auto [it, inserted] = paths_.try_emplace(
+      page.file_id,
+      std::vector<PageId>(static_cast<size_t>(height_), PageId::Invalid()));
+  std::vector<PageId>& path = it->second;
+  if (path[static_cast<size_t>(level)] == page) {
+    return;  // Already the current path node at this level.
+  }
+  path[static_cast<size_t>(level)] = page;
+  // Deeper levels belonged to the old path below the replaced node.
+  for (int l = 0; l < level; ++l) {
+    path[static_cast<size_t>(l)] = PageId::Invalid();
+  }
+}
+
+void PathBuffer::Clear() { paths_.clear(); }
+
+}  // namespace psj

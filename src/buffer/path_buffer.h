@@ -1,0 +1,43 @@
+#ifndef PSJ_BUFFER_PATH_BUFFER_H_
+#define PSJ_BUFFER_PATH_BUFFER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace psj {
+
+/// \brief The R*-tree *path buffer* of §2.2: per processor and per tree, the
+/// nodes of the most recently accessed root-to-leaf path stay in local
+/// memory, independently of the LRU buffer.
+///
+/// During the parallel join, consecutive node pairs in local plane-sweep
+/// order frequently share one subtree; the path buffer satisfies those
+/// re-reads from local memory and — with a global buffer — keeps them off
+/// the interconnect (§3.2).
+class PathBuffer {
+ public:
+  /// `height` bounds the number of simultaneously held levels per tree.
+  explicit PathBuffer(int height);
+
+  /// True iff `page` (a node at `level`) is on the cached path of its tree.
+  bool Contains(const PageId& page, int level) const;
+
+  /// Records `page` as the level-`level` node of the current path of its
+  /// tree, replacing the previous node at that level and invalidating all
+  /// deeper levels (a new path segment was entered).
+  void Enter(const PageId& page, int level);
+
+  /// Drops all cached paths (e.g. when a work load is handed over).
+  void Clear();
+
+ private:
+  int height_;
+  // Per tree (file_id): the page at each level of the last accessed path.
+  std::unordered_map<uint32_t, std::vector<PageId>> paths_;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_BUFFER_PATH_BUFFER_H_

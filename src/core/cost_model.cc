@@ -1,0 +1,36 @@
+#include "core/cost_model.h"
+
+#include "util/string_util.h"
+
+namespace psj {
+
+std::string CostModel::Describe() const {
+  std::string out;
+  out += "cost model (virtual microseconds)\n";
+  out += StringPrintf("  disk: seek=%lld latency=%lld transfer=%lld"
+                      " (directory page=%lld, data page+cluster=%lld)\n",
+                      static_cast<long long>(disk.seek),
+                      static_cast<long long>(disk.latency),
+                      static_cast<long long>(disk.page_transfer),
+                      static_cast<long long>(disk.DirectoryPageCost()),
+                      static_cast<long long>(disk.DataPageWithClusterCost()));
+  out += StringPrintf("  buffer: local_hit=%lld remote_hit=%lld"
+                      " directory=%lld (remote/local ratio=%.1f)\n",
+                      static_cast<long long>(buffer.local_hit),
+                      static_cast<long long>(buffer.remote_hit),
+                      static_cast<long long>(buffer.directory_access),
+                      static_cast<double>(buffer.remote_hit) /
+                          static_cast<double>(buffer.local_hit));
+  out += StringPrintf("  refinement: min=%lld max=%lld\n",
+                      static_cast<long long>(refine_min),
+                      static_cast<long long>(refine_max));
+  out += StringPrintf("  coordination: queue=%lld reassign_delay=%lld"
+                      " reassign_cpu=%lld idle_poll=%lld\n",
+                      static_cast<long long>(task_queue_access),
+                      static_cast<long long>(reassign_message_delay),
+                      static_cast<long long>(reassign_handling_cpu),
+                      static_cast<long long>(idle_poll_interval));
+  return out;
+}
+
+}  // namespace psj

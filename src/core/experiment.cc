@@ -1,0 +1,112 @@
+#include "core/experiment.h"
+
+#include <cmath>
+
+#include "join/node_match.h"
+#include "storage/page_file.h"
+#include "util/string_util.h"
+
+namespace psj {
+
+PaperWorkloadSpec PaperWorkloadSpec::Scaled(double factor) const {
+  PaperWorkloadSpec scaled = *this;
+  scaled.streets.num_objects = std::max(
+      1, static_cast<int>(std::lround(streets.num_objects * factor)));
+  scaled.mixed.num_objects = std::max(
+      1, static_cast<int>(std::lround(mixed.num_objects * factor)));
+  // Keep per-object sizes constant but reduce the number of centers so the
+  // density structure stays comparable.
+  scaled.num_centers =
+      std::max(10, static_cast<int>(std::lround(num_centers * factor)));
+  return scaled;
+}
+
+namespace {
+
+Geography MakeGeography(const PaperWorkloadSpec& spec) {
+  return Geography::Generate(spec.geography_seed, spec.num_centers);
+}
+
+}  // namespace
+
+PaperWorkload::PaperWorkload(const PaperWorkloadSpec& spec)
+    : store_r_(GenerateStreetsMap(MakeGeography(spec), spec.streets)),
+      store_s_(GenerateMixedMap(MakeGeography(spec), spec.mixed)),
+      tree_r_(BuildTreeFromObjects(1, store_r_.objects(), spec.build)),
+      tree_s_(BuildTreeFromObjects(2, store_s_.objects(), spec.build)) {}
+
+StatusOr<std::unique_ptr<PaperWorkload>> PaperWorkload::LoadOrBuildCached(
+    const PaperWorkloadSpec& spec, const std::string& cache_dir) {
+  const std::string prefix = StringPrintf(
+      "%s/psj_wl_%llu_%d_%d_%d", cache_dir.c_str(),
+      static_cast<unsigned long long>(spec.geography_seed),
+      spec.streets.num_objects, spec.mixed.num_objects,
+      static_cast<int>(spec.build));
+  const std::string store_r_path = prefix + "_store_r.bin";
+  const std::string store_s_path = prefix + "_store_s.bin";
+  const std::string tree_r_path = prefix + "_tree_r.pf";
+  const std::string tree_s_path = prefix + "_tree_s.pf";
+
+  auto store_r = ObjectStore::LoadFromFile(store_r_path);
+  auto store_s = ObjectStore::LoadFromFile(store_s_path);
+  auto file_r = PageFile::LoadFromFile(tree_r_path);
+  auto file_s = PageFile::LoadFromFile(tree_s_path);
+  if (store_r.ok() && store_s.ok() && file_r.ok() && file_s.ok()) {
+    auto tree_r = RStarTree::LoadFromPageFile(*file_r);
+    auto tree_s = RStarTree::LoadFromPageFile(*file_s);
+    if (tree_r.ok() && tree_s.ok()) {
+      return std::unique_ptr<PaperWorkload>(new PaperWorkload(
+          std::move(store_r).value(), std::move(store_s).value(),
+          std::move(tree_r).value(), std::move(tree_s).value()));
+    }
+  }
+
+  auto workload = std::unique_ptr<PaperWorkload>(new PaperWorkload(spec));
+  // Best-effort cache write; failures only cost rebuild time later.
+  PageFile out_r(workload->tree_r_.tree_id());
+  PageFile out_s(workload->tree_s_.tree_id());
+  if (workload->store_r_.SaveToFile(store_r_path).ok() &&
+      workload->store_s_.SaveToFile(store_s_path).ok() &&
+      workload->tree_r_.PackToPageFile(&out_r).ok() &&
+      workload->tree_s_.PackToPageFile(&out_s).ok()) {
+    (void)out_r.SaveToFile(tree_r_path);
+    (void)out_s.SaveToFile(tree_s_path);
+  }
+  return workload;
+}
+
+int64_t PaperWorkload::CountRootTaskPairs() const {
+  const RTreeNode& root_r = tree_r_.node(tree_r_.root_page());
+  const RTreeNode& root_s = tree_s_.node(tree_s_.root_page());
+  return static_cast<int64_t>(MatchNodeEntries(root_r, root_s).size());
+}
+
+StatusOr<JoinResult> PaperWorkload::RunJoin(
+    const ParallelJoinConfig& config) const {
+  ParallelSpatialJoin join(&tree_r_, &tree_s_, &store_r_, &store_s_);
+  return join.Run(config);
+}
+
+std::string PaperWorkload::DescribeTrees() const {
+  const RTreeShapeStats a = tree_r_.ComputeShapeStats();
+  const RTreeShapeStats b = tree_s_.ComputeShapeStats();
+  std::string out;
+  out += StringPrintf("%-28s %12s %12s\n", "", "tree1", "tree2");
+  out += StringPrintf("%-28s %12d %12d\n", "height", a.height, b.height);
+  out += StringPrintf("%-28s %12s %12s\n", "number of data entries",
+                      FormatWithCommas(a.num_data_entries).c_str(),
+                      FormatWithCommas(b.num_data_entries).c_str());
+  out += StringPrintf("%-28s %12s %12s\n", "number of data pages",
+                      FormatWithCommas(a.num_data_pages).c_str(),
+                      FormatWithCommas(b.num_data_pages).c_str());
+  out += StringPrintf("%-28s %12s %12s\n", "number of directory pages",
+                      FormatWithCommas(a.num_dir_pages).c_str(),
+                      FormatWithCommas(b.num_dir_pages).c_str());
+  out += StringPrintf("%-28s %12.0f%% %11.0f%%\n", "avg. data page fill",
+                      a.avg_data_fill * 100.0, b.avg_data_fill * 100.0);
+  out += StringPrintf("%-28s %25s\n", "m (number of tasks)",
+                      FormatWithCommas(CountRootTaskPairs()).c_str());
+  return out;
+}
+
+}  // namespace psj

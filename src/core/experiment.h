@@ -1,0 +1,77 @@
+#ifndef PSJ_CORE_EXPERIMENT_H_
+#define PSJ_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/parallel_join.h"
+#include "util/statusor.h"
+#include "data/generator.h"
+#include "data/map_builder.h"
+#include "rtree/rstar_tree.h"
+
+namespace psj {
+
+/// Parameters of the paper-scale synthetic workload: two TIGER-like maps of
+/// one shared geography, organized by R*-trees with the paper's page layout
+/// (§4.1, Table 1).
+struct PaperWorkloadSpec {
+  uint64_t geography_seed = 2026;
+  int num_centers = 280;
+  StreetsSpec streets;  // 131,443 street segments by default.
+  MixedSpec mixed;      // 127,312 boundary/river/rail fragments by default.
+  TreeBuildMethod build = TreeBuildMethod::kInsertion;
+
+  /// Scales both object counts by `factor` (for fast tests and examples).
+  PaperWorkloadSpec Scaled(double factor) const;
+};
+
+/// \brief The generated maps plus their R*-trees — the fixed input shared
+/// by every experiment of §4. Build once, join many times.
+class PaperWorkload {
+ public:
+  explicit PaperWorkload(const PaperWorkloadSpec& spec = PaperWorkloadSpec());
+
+  PaperWorkload(const PaperWorkload&) = delete;
+  PaperWorkload& operator=(const PaperWorkload&) = delete;
+
+  /// Loads the workload from `cache_dir` if a cache written by a previous
+  /// call exists there, otherwise builds it (tens of seconds at full scale)
+  /// and writes the cache. The cache key includes the object counts, so
+  /// scaled workloads get distinct entries.
+  static StatusOr<std::unique_ptr<PaperWorkload>> LoadOrBuildCached(
+      const PaperWorkloadSpec& spec, const std::string& cache_dir);
+
+  const ObjectStore& store_r() const { return store_r_; }
+  const ObjectStore& store_s() const { return store_s_; }
+  const RStarTree& tree_r() const { return tree_r_; }
+  const RStarTree& tree_s() const { return tree_s_; }
+
+  /// m of Table 1: the number of intersecting MBR pairs in the two root
+  /// pages — the initial task count of the parallel join.
+  int64_t CountRootTaskPairs() const;
+
+  /// Runs one parallel join over this workload.
+  StatusOr<JoinResult> RunJoin(const ParallelJoinConfig& config) const;
+
+  /// Multi-line Table 1-style description of both trees.
+  std::string DescribeTrees() const;
+
+ private:
+  PaperWorkload(ObjectStore store_r, ObjectStore store_s, RStarTree tree_r,
+                RStarTree tree_s)
+      : store_r_(std::move(store_r)),
+        store_s_(std::move(store_s)),
+        tree_r_(std::move(tree_r)),
+        tree_s_(std::move(tree_s)) {}
+
+  ObjectStore store_r_;
+  ObjectStore store_s_;
+  RStarTree tree_r_;
+  RStarTree tree_s_;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_CORE_EXPERIMENT_H_

@@ -1,0 +1,75 @@
+#include "core/join_stats.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace psj {
+
+void JoinStats::Finalize(int64_t disk_accesses, sim::SimTime disk_wait) {
+  PSJ_CHECK(!per_processor.empty());
+  response_time = 0;
+  first_finish = per_processor[0].last_work_time;
+  total_task_time = 0;
+  total_disk_accesses = disk_accesses;
+  total_disk_wait = disk_wait;
+  total_local_hits = 0;
+  total_remote_hits = 0;
+  total_path_buffer_hits = 0;
+  total_candidates = 0;
+  total_answers = 0;
+  total_second_filter_eliminated = 0;
+  total_refinement_time = 0;
+  sim::SimTime finish_sum = 0;
+  for (const ProcessorStats& p : per_processor) {
+    response_time = std::max(response_time, p.last_work_time);
+    first_finish = std::min(first_finish, p.last_work_time);
+    finish_sum += p.last_work_time;
+    total_task_time += p.busy_time;
+    total_local_hits += p.buffer.local_hits;
+    total_remote_hits += p.buffer.remote_hits;
+    total_path_buffer_hits += p.path_buffer_hits;
+    total_candidates += p.candidates;
+    total_answers += p.answers;
+    total_second_filter_eliminated += p.second_filter_eliminated;
+    total_refinement_time += p.refinement_time;
+  }
+  avg_finish = finish_sum / static_cast<sim::SimTime>(per_processor.size());
+}
+
+sim::SimTime JoinStats::AvgRefinementTime() const {
+  const int64_t performed =
+      total_candidates - total_second_filter_eliminated;
+  if (performed <= 0) {
+    return 0;
+  }
+  return total_refinement_time / performed;
+}
+
+std::string JoinStats::Summary() const {
+  std::string out;
+  out += StringPrintf(
+      "response_time=%ss first=%ss avg=%ss total_task_time=%ss\n",
+      FormatMicrosAsSeconds(response_time).c_str(),
+      FormatMicrosAsSeconds(first_finish).c_str(),
+      FormatMicrosAsSeconds(avg_finish).c_str(),
+      FormatMicrosAsSeconds(total_task_time).c_str());
+  out += StringPrintf(
+      "disk_accesses=%s (wait %ss)  hits: local=%s remote=%s path=%s\n",
+      FormatWithCommas(total_disk_accesses).c_str(),
+      FormatMicrosAsSeconds(total_disk_wait).c_str(),
+      FormatWithCommas(total_local_hits).c_str(),
+      FormatWithCommas(total_remote_hits).c_str(),
+      FormatWithCommas(total_path_buffer_hits).c_str());
+  out += StringPrintf(
+      "tasks=%s at level %d  candidates=%s answers=%s"
+      " avg_refine=%.1fms\n",
+      FormatWithCommas(num_tasks).c_str(), task_level,
+      FormatWithCommas(total_candidates).c_str(),
+      FormatWithCommas(total_answers).c_str(),
+      static_cast<double>(AvgRefinementTime()) / 1000.0);
+  return out;
+}
+
+}  // namespace psj

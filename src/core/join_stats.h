@@ -1,0 +1,92 @@
+#ifndef PSJ_CORE_JOIN_STATS_H_
+#define PSJ_CORE_JOIN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "sim/simulation.h"
+
+namespace psj {
+
+/// Per-processor counters of one parallel join run.
+struct ProcessorStats {
+  /// Virtual time at which the processor finished its last piece of work
+  /// (Figure 7's vertical lines; the maximum over processors is the
+  /// response time).
+  sim::SimTime last_work_time = 0;
+  /// Virtual time spent executing tasks (including I/O waits) — the paper's
+  /// "total run time of all tasks" is the sum over processors.
+  sim::SimTime busy_time = 0;
+
+  int64_t tasks_started = 0;        // Root-level tasks this processor began.
+  int64_t node_pairs_processed = 0;
+  int64_t candidates = 0;
+  int64_t answers = 0;
+  int64_t path_buffer_hits = 0;
+  /// Candidates identified as false hits by the second filter step (their
+  /// exact-geometry test was skipped).
+  int64_t second_filter_eliminated = 0;
+  /// Virtual time spent in exact-geometry refinement tests (§4.2 models
+  /// them as 2-18 ms waiting periods, ~10 ms on average).
+  sim::SimTime refinement_time = 0;
+
+  int64_t steal_requests_sent = 0;
+  int64_t steal_requests_failed = 0;  // Got an empty reply.
+  int64_t pairs_stolen = 0;           // Received via reassignment.
+  int64_t pairs_given = 0;            // Handed away via reassignment.
+
+  BufferAccessStats buffer;
+};
+
+/// Aggregate results of one parallel join run.
+struct JoinStats {
+  std::vector<ProcessorStats> per_processor;
+
+  sim::SimTime response_time = 0;  // max over last_work_time.
+  sim::SimTime first_finish = 0;   // min over last_work_time.
+  sim::SimTime avg_finish = 0;     // mean over last_work_time.
+  sim::SimTime total_task_time = 0;  // sum over busy_time.
+  sim::SimTime task_creation_time = 0;  // Duration of the sequential phase.
+  sim::SimTime total_disk_wait = 0;  // Queueing at the disks.
+
+  int64_t total_disk_accesses = 0;
+  int64_t total_local_hits = 0;
+  int64_t total_remote_hits = 0;
+  int64_t total_path_buffer_hits = 0;
+  int64_t total_candidates = 0;
+  int64_t total_answers = 0;
+  int64_t total_second_filter_eliminated = 0;
+  sim::SimTime total_refinement_time = 0;
+
+  /// Mean duration of one performed exact-geometry test (0 when none ran);
+  /// the paper's model averages ~10 ms.
+  sim::SimTime AvgRefinementTime() const;
+
+  int64_t num_tasks = 0;  // m: tasks produced by task creation.
+  int task_level = 0;     // Tree level of the created tasks.
+
+  /// Fills the aggregate fields from per_processor (plus the given disk
+  /// totals).
+  void Finalize(int64_t disk_accesses, sim::SimTime disk_wait);
+
+  /// Multi-line human-readable summary.
+  std::string Summary() const;
+};
+
+/// Complete result of a parallel spatial join.
+struct JoinResult {
+  JoinStats stats;
+  /// Candidate object-id pairs (filter-step output); only populated when
+  /// ParallelJoinConfig::collect_pairs is set.
+  std::vector<std::pair<uint64_t, uint64_t>> candidate_pairs;
+  /// Answer pairs (refinement-step output); only populated when both
+  /// collect_pairs and compute_answers are set.
+  std::vector<std::pair<uint64_t, uint64_t>> answer_pairs;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_CORE_JOIN_STATS_H_

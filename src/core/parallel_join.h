@@ -1,0 +1,48 @@
+#ifndef PSJ_CORE_PARALLEL_JOIN_H_
+#define PSJ_CORE_PARALLEL_JOIN_H_
+
+#include "core/join_config.h"
+#include "core/join_stats.h"
+#include "data/map_object.h"
+#include "rtree/rstar_tree.h"
+#include "util/statusor.h"
+
+namespace psj {
+
+/// \brief The paper's parallel spatial join: task creation, task assignment
+/// and parallel task execution over two R*-trees on the simulated
+/// shared-virtual-memory multiprocessor.
+///
+/// Each Run() simulates one join from cold buffers: it builds a fresh disk
+/// array, buffer pool and scheduler, spawns one simulated processor per
+/// configured CPU, lets processor 0 create and assign the tasks (pairs of
+/// intersecting subtrees ordered by the local plane-sweep order), executes
+/// them in parallel with the configured buffer organization / assignment /
+/// reassignment strategy, and reports virtual-time statistics (response
+/// time, disk accesses, per-processor finish times, ...).
+///
+/// Thread safety: Run() is synchronous and may be called repeatedly; the
+/// trees and object stores must outlive the call and are not modified.
+class ParallelSpatialJoin {
+ public:
+  /// `objects_r/s` provide the exact geometry for the ground-truth
+  /// refinement test; they may be null when `config.compute_answers` is
+  /// false. The two trees must have distinct tree ids unless they are the
+  /// same tree (self join).
+  ParallelSpatialJoin(const RStarTree* tree_r, const RStarTree* tree_s,
+                      const ObjectStore* objects_r,
+                      const ObjectStore* objects_s);
+
+  /// Simulates one parallel join under `config`.
+  StatusOr<JoinResult> Run(const ParallelJoinConfig& config) const;
+
+ private:
+  const RStarTree* tree_r_;
+  const RStarTree* tree_s_;
+  const ObjectStore* objects_r_;
+  const ObjectStore* objects_s_;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_CORE_PARALLEL_JOIN_H_

@@ -1,0 +1,235 @@
+#ifndef PSJ_CORE_TASK_POOL_H_
+#define PSJ_CORE_TASK_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/join_config.h"
+#include "core/workload.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace psj {
+
+/// Per-processor coordination counters maintained by the TaskPool.
+struct TaskPoolCounters {
+  int64_t tasks_started = 0;          // Items pulled from the shared queue.
+  int64_t steal_requests_sent = 0;
+  int64_t steal_requests_failed = 0;
+  int64_t items_stolen = 0;           // Received via reassignment.
+  int64_t items_given = 0;            // Handed away via reassignment.
+};
+
+/// \brief The shared work-distribution state of the paper's §3 framework,
+/// generic over the work item (subtree *pairs* for the spatial join,
+/// single subtrees for window queries).
+///
+/// Owns the per-processor per-level workloads, the shared task queue of the
+/// dynamic assignment, the "working" flags that define global termination,
+/// and the task-reassignment protocol (victim selection with buddies,
+/// §3.4). All methods must be called from simulated processes; shared state
+/// is touched only at virtual-time sync points.
+template <typename Item>
+class TaskPool {
+ public:
+  TaskPool(int num_processors, int num_levels, const CostModel& costs,
+           uint64_t seed)
+      : costs_(costs) {
+    workloads_.assign(static_cast<size_t>(num_processors),
+                      PerLevelWorkload<Item>(num_levels));
+    working_.assign(static_cast<size_t>(num_processors), 0);
+    buddy_.assign(static_cast<size_t>(num_processors), -1);
+    counters_.assign(static_cast<size_t>(num_processors),
+                     TaskPoolCounters());
+    rngs_.reserve(static_cast<size_t>(num_processors));
+    for (int i = 0; i < num_processors; ++i) {
+      rngs_.emplace_back(seed + static_cast<uint64_t>(i) * 1000003u);
+    }
+  }
+
+  int num_processors() const { return static_cast<int>(workloads_.size()); }
+
+  /// Distributes the created tasks (phase 2, §3.1/§3.3). Tasks must be in
+  /// local plane-sweep order; `task_level` is their common tree level.
+  void Assign(TaskAssignment assignment, const std::vector<Item>& tasks,
+              int task_level) {
+    task_level_ = task_level;
+    const size_t n = workloads_.size();
+    const size_t m = tasks.size();
+    switch (assignment) {
+      case TaskAssignment::kStaticRange: {
+        // The first m mod n processors receive ceil(m/n) consecutive
+        // tasks, the others floor(m/n) (§3.1).
+        const size_t base = m / n;
+        const size_t extra = m % n;
+        size_t next = 0;
+        for (size_t cpu = 0; cpu < n; ++cpu) {
+          const size_t count = base + (cpu < extra ? 1 : 0);
+          for (size_t k = 0; k < count && next < m; ++k) {
+            workloads_[cpu].PushOne(tasks[next++]);
+          }
+        }
+        break;
+      }
+      case TaskAssignment::kStaticRoundRobin:
+        for (size_t i = 0; i < m; ++i) {
+          workloads_[i % n].PushOne(tasks[i]);
+        }
+        break;
+      case TaskAssignment::kDynamic:
+        dynamic_ = true;
+        task_queue_.assign(tasks.begin(), tasks.end());
+        break;
+    }
+  }
+
+  /// Next item for processor `p`: its own workload (lowest level first),
+  /// then — under dynamic assignment — the shared task queue (charging the
+  /// queue access cost). Marks the processor working on success; the
+  /// caller must call FinishItem() when the item completes.
+  std::optional<Item> NextItem(sim::Process& p) {
+    const size_t cpu = static_cast<size_t>(p.id());
+    std::optional<Item> item = workloads_[cpu].PopNext();
+    if (!item.has_value() && dynamic_) {
+      p.Sync();
+      if (!task_queue_.empty()) {
+        p.Advance(costs_.task_queue_access);
+        item = task_queue_.front();
+        task_queue_.pop_front();
+        ++counters_[cpu].tasks_started;
+      }
+    }
+    if (item.has_value()) {
+      working_[cpu] = 1;
+    }
+    return item;
+  }
+
+  /// Declares the current item of processor `cpu` complete.
+  void FinishItem(int cpu) { working_[static_cast<size_t>(cpu)] = 0; }
+
+  /// Adds child work produced while processing an item.
+  void Push(int cpu, const std::vector<Item>& items) {
+    workloads_[static_cast<size_t>(cpu)].Push(items);
+  }
+
+  /// True once no queued work, no pending workloads and no processor mid-
+  /// item remain — the join/query is complete.
+  bool GlobalDone() const {
+    if (!task_queue_.empty()) {
+      return false;
+    }
+    for (size_t q = 0; q < workloads_.size(); ++q) {
+      if (working_[q] != 0 || !workloads_[q].empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// One §3.4 reassignment attempt by the idle processor `p`: select a
+  /// victim (buddy first, then the configured policy), pay the round-trip
+  /// and handling costs, take half of the victim's highest stealable
+  /// level. Waits one poll interval when no victim exists. Returns true if
+  /// work was obtained. The victim's side of the protocol is folded into
+  /// the thief's virtual time (the paper measured the whole protocol at
+  /// under 100 ms per join).
+  bool TryStealWork(sim::Process& p, ReassignmentLevel reassignment,
+                    VictimPolicy policy) {
+    const size_t cpu = static_cast<size_t>(p.id());
+    const int min_level = MinStealLevel(reassignment);
+    const int victim = ChooseVictim(p.id(), min_level, policy);
+    if (victim < 0) {
+      p.WaitUntil(p.now() + costs_.idle_poll_interval);
+      return false;
+    }
+    ++counters_[cpu].steal_requests_sent;
+    p.WaitUntil(p.now() + 2 * costs_.reassign_message_delay);
+    p.Advance(costs_.reassign_handling_cpu);
+    p.Sync();
+    std::vector<Item> stolen =
+        workloads_[static_cast<size_t>(victim)].StealHalf(min_level);
+    if (stolen.empty()) {
+      // The victim consumed its pending work while the request was in
+      // flight.
+      ++counters_[cpu].steal_requests_failed;
+      return false;
+    }
+    counters_[cpu].items_stolen += static_cast<int64_t>(stolen.size());
+    counters_[static_cast<size_t>(victim)].items_given +=
+        static_cast<int64_t>(stolen.size());
+    workloads_[cpu].Push(stolen);
+    buddy_[cpu] = victim;
+    buddy_[static_cast<size_t>(victim)] = p.id();
+    return true;
+  }
+
+  const TaskPoolCounters& counters(int cpu) const {
+    return counters_[static_cast<size_t>(cpu)];
+  }
+
+  /// Level below which reassignment may not take work.
+  int MinStealLevel(ReassignmentLevel reassignment) const {
+    return reassignment == ReassignmentLevel::kRootLevel ? task_level_ : 0;
+  }
+
+ private:
+  bool HasStealableWork(int q, int min_level) const {
+    return workloads_[static_cast<size_t>(q)]
+               .HighestLevelInfo(min_level)
+               .first >= 0;
+  }
+
+  int ChooseVictim(int self, int min_level, VictimPolicy policy) {
+    // A previously cooperating "buddy" is helped again first, until both
+    // are idle (§3.4).
+    const int buddy = buddy_[static_cast<size_t>(self)];
+    if (buddy >= 0 && buddy != self && HasStealableWork(buddy, min_level)) {
+      return buddy;
+    }
+    std::vector<int> candidates;
+    for (int q = 0; q < num_processors(); ++q) {
+      if (q != self && HasStealableWork(q, min_level)) {
+        candidates.push_back(q);
+      }
+    }
+    if (candidates.empty()) {
+      return -1;
+    }
+    if (policy == VictimPolicy::kArbitrary) {
+      return candidates[rngs_[static_cast<size_t>(self)].NextBelow(
+          candidates.size())];
+    }
+    // Most loaded: highest (hl, ns) report.
+    int best = candidates[0];
+    std::pair<int, int64_t> best_info =
+        workloads_[static_cast<size_t>(best)].HighestLevelInfo(min_level);
+    for (size_t k = 1; k < candidates.size(); ++k) {
+      const int q = candidates[k];
+      const auto info =
+          workloads_[static_cast<size_t>(q)].HighestLevelInfo(min_level);
+      if (info.first > best_info.first ||
+          (info.first == best_info.first && info.second > best_info.second)) {
+        best = q;
+        best_info = info;
+      }
+    }
+    return best;
+  }
+
+  const CostModel& costs_;
+  bool dynamic_ = false;
+  int task_level_ = 0;
+  std::deque<Item> task_queue_;
+  std::vector<PerLevelWorkload<Item>> workloads_;
+  std::vector<char> working_;
+  std::vector<int> buddy_;
+  std::vector<Rng> rngs_;
+  std::vector<TaskPoolCounters> counters_;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_CORE_TASK_POOL_H_

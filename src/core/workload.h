@@ -1,0 +1,132 @@
+#ifndef PSJ_CORE_WORKLOAD_H_
+#define PSJ_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace psj {
+
+/// One unit of join work: a pair of nodes (subtree roots) at the same tree
+/// level. Level 0 pairs are data-page pairs.
+struct NodePair {
+  uint32_t page_r = 0;
+  uint32_t page_s = 0;
+  int16_t level = 0;
+
+  friend bool operator==(const NodePair& a, const NodePair& b) {
+    return a.page_r == b.page_r && a.page_s == b.page_s && a.level == b.level;
+  }
+};
+
+/// One unit of window-query work: a single subtree root.
+struct PageTask {
+  uint32_t page = 0;
+  int16_t level = 0;
+
+  friend bool operator==(const PageTask& a, const PageTask& b) {
+    return a.page == b.page && a.level == b.level;
+  }
+};
+
+/// \brief A processor's pending work, organized per tree level so that task
+/// reassignment can hand over subtree (pairs) "on the root level or on any
+/// other directory level" (§3.4). `Item` must expose a `level` field.
+///
+/// Execution order is depth-first while preserving local plane-sweep order:
+/// PopNext() takes from the lowest non-empty level, FIFO within the level —
+/// children of a node (pair) are processed in sweep order before the next
+/// sibling. Stealing takes from the *highest* level (largest subtrees),
+/// back half first (the part farthest away in sweep order), which is how
+/// the victim "divides its work load into two".
+template <typename Item>
+class PerLevelWorkload {
+ public:
+  /// `num_levels` = height of the traversed tree(s); items carry levels in
+  /// [0, num_levels).
+  explicit PerLevelWorkload(int num_levels) {
+    PSJ_CHECK_GT(num_levels, 0);
+    per_level_.resize(static_cast<size_t>(num_levels));
+  }
+
+  bool empty() const { return total_ == 0; }
+  int64_t size() const { return total_; }
+  int num_levels() const { return static_cast<int>(per_level_.size()); }
+
+  /// Appends items at their level, preserving their order.
+  void Push(const std::vector<Item>& items) {
+    for (const Item& item : items) {
+      PushOne(item);
+    }
+  }
+
+  void PushOne(const Item& item) {
+    PSJ_CHECK_GE(item.level, 0);
+    PSJ_CHECK_LT(item.level, static_cast<int>(per_level_.size()));
+    per_level_[static_cast<size_t>(item.level)].push_back(item);
+    ++total_;
+  }
+
+  /// Next item to execute: lowest non-empty level, front.
+  std::optional<Item> PopNext() {
+    for (auto& level : per_level_) {
+      if (!level.empty()) {
+        Item item = level.front();
+        level.pop_front();
+        --total_;
+        return item;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// The paper's (hl, ns) report: highest level holding pending items with
+  /// level >= min_level and the number of items there; (-1, 0) when none.
+  std::pair<int, int64_t> HighestLevelInfo(int min_level) const {
+    for (int l = static_cast<int>(per_level_.size()) - 1;
+         l >= std::max(0, min_level); --l) {
+      const auto& level = per_level_[static_cast<size_t>(l)];
+      if (!level.empty()) {
+        return {l, static_cast<int64_t>(level.size())};
+      }
+    }
+    return {-1, 0};
+  }
+
+  /// Removes and returns the back half (rounded up) of the highest
+  /// non-empty level >= `min_level`; empty when nothing is stealable.
+  std::vector<Item> StealHalf(int min_level) {
+    const auto [level, count] = HighestLevelInfo(min_level);
+    if (level < 0 || count == 0) {
+      return {};
+    }
+    auto& deque = per_level_[static_cast<size_t>(level)];
+    const size_t take = (deque.size() + 1) / 2;
+    std::vector<Item> stolen;
+    stolen.reserve(take);
+    // Take the back half in order, so the thief processes it in its
+    // original sweep order.
+    const size_t start = deque.size() - take;
+    for (size_t i = start; i < deque.size(); ++i) {
+      stolen.push_back(deque[i]);
+    }
+    deque.erase(deque.begin() + static_cast<long>(start), deque.end());
+    total_ -= static_cast<int64_t>(take);
+    return stolen;
+  }
+
+ private:
+  std::vector<std::deque<Item>> per_level_;
+  int64_t total_ = 0;
+};
+
+/// The spatial-join workload of §3.
+using Workload = PerLevelWorkload<NodePair>;
+
+}  // namespace psj
+
+#endif  // PSJ_CORE_WORKLOAD_H_

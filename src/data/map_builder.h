@@ -1,0 +1,29 @@
+#ifndef PSJ_DATA_MAP_BUILDER_H_
+#define PSJ_DATA_MAP_BUILDER_H_
+
+#include <vector>
+
+#include "data/map_object.h"
+#include "rtree/rstar_tree.h"
+#include "rtree/str_loader.h"
+
+namespace psj {
+
+/// How to construct the R*-tree over a map's MBRs.
+enum class TreeBuildMethod {
+  kInsertion,  // Dynamic R* insertion — what the paper's trees used.
+  kStr,        // Sort-Tile-Recursive bulk load (extension / ablation).
+};
+
+/// Builds the R*-tree organizing the MBRs of `objects`; entry ids are the
+/// object ids. With kStr, `str_fill` selects the node occupancy.
+RStarTree BuildTreeFromObjects(uint32_t tree_id,
+                               const std::vector<MapObject>& objects,
+                               TreeBuildMethod method =
+                                   TreeBuildMethod::kInsertion,
+                               RTreeOptions options = RTreeOptions(),
+                               double str_fill = 0.7);
+
+}  // namespace psj
+
+#endif  // PSJ_DATA_MAP_BUILDER_H_

@@ -1,0 +1,52 @@
+#ifndef PSJ_DATA_MAP_OBJECT_H_
+#define PSJ_DATA_MAP_OBJECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/polyline.h"
+#include "geo/rect.h"
+#include "util/statusor.h"
+
+namespace psj {
+
+/// One spatial object of a map: a polyline (street segment, river,
+/// administrative boundary, railway track) with a dense object id. The MBR
+/// is the object's conservative approximation used by the filter step.
+struct MapObject {
+  uint64_t id = 0;
+  Polyline geometry;
+
+  const Rect& Mbr() const { return geometry.Mbr(); }
+};
+
+/// \brief The exact-geometry store of one spatial relation.
+///
+/// Object ids are dense (0 … size-1). In the paper's setup the exact
+/// geometry lives in clusters on disk, one cluster per R*-tree data page
+/// ([BK 94]); here the bytes are host-resident while the cluster I/O cost is
+/// charged by the disk model. The store answers the refinement step's
+/// ground-truth intersection tests.
+class ObjectStore {
+ public:
+  ObjectStore() = default;
+  explicit ObjectStore(std::vector<MapObject> objects);
+
+  size_t size() const { return objects_.size(); }
+  const MapObject& Get(uint64_t id) const;
+  const std::vector<MapObject>& objects() const { return objects_; }
+
+  /// Serializes the store to a binary file. Returns an error status on I/O
+  /// failure.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads a store previously written by SaveToFile.
+  static StatusOr<ObjectStore> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<MapObject> objects_;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_DATA_MAP_OBJECT_H_

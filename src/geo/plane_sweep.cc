@@ -1,0 +1,28 @@
+#include "geo/plane_sweep.h"
+
+#include <algorithm>
+
+namespace psj {
+
+std::vector<uint32_t> SortedOrderByXl(std::span<const Rect> rects) {
+  std::vector<uint32_t> order(rects.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (rects[a].xl != rects[b].xl) {
+      return rects[a].xl < rects[b].xl;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+bool IsSortedByXl(std::span<const Rect> rects) {
+  for (size_t i = 1; i < rects.size(); ++i) {
+    if (rects[i - 1].xl > rects[i].xl) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace psj

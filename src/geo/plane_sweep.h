@@ -1,0 +1,133 @@
+#ifndef PSJ_GEO_PLANE_SWEEP_H_
+#define PSJ_GEO_PLANE_SWEEP_H_
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "geo/rect.h"
+
+namespace psj {
+
+/// Returns the permutation that sorts `rects` ascending by xl (ties broken
+/// by index for determinism). This is the sort order required by the
+/// plane-sweep join of §2.2.
+std::vector<uint32_t> SortedOrderByXl(std::span<const Rect> rects);
+
+/// True iff `rects` is sorted ascending by xl.
+bool IsSortedByXl(std::span<const Rect> rects);
+
+/// \brief Plane-sweep rectangle intersection join over two x-sorted
+/// sequences (the paper's §2.2 algorithm, after [BKS 93]).
+///
+/// Both sequences must be sorted ascending by xl. The sweep-line moves over
+/// the union of the sequences in xl order; for each anchor rectangle the
+/// other sequence is scanned forward while xl <= anchor.xu, testing only the
+/// y-extents (x-overlap is implied by the sweep order). Each intersecting
+/// pair (i, j) — indices into `r` and `s` — is emitted exactly once, in
+/// **local plane-sweep order**: the order that preserves spatial locality
+/// and determines the order in which pages are read from disk.
+///
+/// No dynamic sweep structure is needed, matching the paper.
+template <typename Callback>
+void PlaneSweepJoinSorted(std::span<const Rect> r, std::span<const Rect> s,
+                          Callback&& emit) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < r.size() && j < s.size()) {
+    if (r[i].xl <= s[j].xl) {
+      // r[i] is the anchor; scan s forward from j.
+      const Rect& anchor = r[i];
+      for (size_t l = j; l < s.size() && s[l].xl <= anchor.xu; ++l) {
+        if (anchor.yl <= s[l].yu && s[l].yl <= anchor.yu) {
+          emit(i, l);
+        }
+      }
+      ++i;
+    } else {
+      const Rect& anchor = s[j];
+      for (size_t l = i; l < r.size() && r[l].xl <= anchor.xu; ++l) {
+        if (anchor.yl <= r[l].yu && r[l].yl <= anchor.yu) {
+          emit(l, j);
+        }
+      }
+      ++j;
+    }
+  }
+}
+
+/// Convenience wrapper over unsorted input: sorts both sides internally and
+/// emits pairs of indices into the *original* sequences, still in local
+/// plane-sweep order.
+template <typename Callback>
+void PlaneSweepJoin(std::span<const Rect> r, std::span<const Rect> s,
+                    Callback&& emit) {
+  const std::vector<uint32_t> r_order = SortedOrderByXl(r);
+  const std::vector<uint32_t> s_order = SortedOrderByXl(s);
+  std::vector<Rect> r_sorted(r.size());
+  std::vector<Rect> s_sorted(s.size());
+  for (size_t k = 0; k < r.size(); ++k) r_sorted[k] = r[r_order[k]];
+  for (size_t k = 0; k < s.size(); ++k) s_sorted[k] = s[s_order[k]];
+  PlaneSweepJoinSorted(std::span<const Rect>(r_sorted),
+                       std::span<const Rect>(s_sorted),
+                       [&](size_t i, size_t j) {
+                         emit(r_order[i], s_order[j]);
+                       });
+}
+
+/// \brief Plane-sweep join with the paper's *search-space restriction*
+/// (tuning technique (i) of §2.2): rectangles that do not intersect `clip`
+/// (normally the intersection of the two nodes' MBRs) cannot contribute a
+/// result pair and are dropped before sorting.
+///
+/// Emits pairs of indices into the original sequences in local plane-sweep
+/// order. `considered_r`/`considered_s`, when non-null, receive the number
+/// of rectangles that survived the restriction (a CPU-cost statistic).
+template <typename Callback>
+void RestrictedPlaneSweepJoin(std::span<const Rect> r,
+                              std::span<const Rect> s, const Rect& clip,
+                              Callback&& emit,
+                              size_t* considered_r = nullptr,
+                              size_t* considered_s = nullptr) {
+  std::vector<Rect> r_kept;
+  std::vector<Rect> s_kept;
+  std::vector<uint32_t> r_ids;
+  std::vector<uint32_t> s_ids;
+  r_kept.reserve(r.size());
+  s_kept.reserve(s.size());
+  for (size_t k = 0; k < r.size(); ++k) {
+    if (r[k].Intersects(clip)) {
+      r_kept.push_back(r[k]);
+      r_ids.push_back(static_cast<uint32_t>(k));
+    }
+  }
+  for (size_t k = 0; k < s.size(); ++k) {
+    if (s[k].Intersects(clip)) {
+      s_kept.push_back(s[k]);
+      s_ids.push_back(static_cast<uint32_t>(k));
+    }
+  }
+  if (considered_r != nullptr) *considered_r = r_kept.size();
+  if (considered_s != nullptr) *considered_s = s_kept.size();
+  PlaneSweepJoin(std::span<const Rect>(r_kept), std::span<const Rect>(s_kept),
+                 [&](size_t i, size_t j) { emit(r_ids[i], s_ids[j]); });
+}
+
+/// Reference O(|r|·|s|) nested-loop join; used in tests and as the ablation
+/// baseline for the plane-sweep technique.
+template <typename Callback>
+void BruteForceJoin(std::span<const Rect> r, std::span<const Rect> s,
+                    Callback&& emit) {
+  for (size_t i = 0; i < r.size(); ++i) {
+    for (size_t j = 0; j < s.size(); ++j) {
+      if (r[i].Intersects(s[j])) {
+        emit(i, j);
+      }
+    }
+  }
+}
+
+}  // namespace psj
+
+#endif  // PSJ_GEO_PLANE_SWEEP_H_

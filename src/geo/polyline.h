@@ -1,0 +1,59 @@
+#ifndef PSJ_GEO_POLYLINE_H_
+#define PSJ_GEO_POLYLINE_H_
+
+#include <vector>
+
+#include "geo/rect.h"
+
+namespace psj {
+
+/// True iff the closed segments a0-a1 and b0-b1 share at least one point
+/// (proper crossing, touching endpoints, or collinear overlap).
+bool SegmentsIntersect(const Point& a0, const Point& a1, const Point& b0,
+                       const Point& b1);
+
+/// True iff the closed segment a-b shares at least one point with the
+/// (closed) rectangle — an endpoint inside, or a crossing of its boundary.
+bool SegmentIntersectsRect(const Point& a, const Point& b, const Rect& rect);
+
+/// \brief An open polygonal chain, the exact geometry of the synthetic
+/// TIGER-like objects (street segments, rivers, boundaries, railway tracks).
+///
+/// The refinement step of the spatial join tests two polylines for
+/// intersection; in the experiments this CPU cost is charged in *virtual*
+/// time per the paper's waiting-period model, while the boolean answer is
+/// computed here for correctness checking.
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Point> points);
+
+  const std::vector<Point>& points() const { return points_; }
+  size_t num_points() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  void AddPoint(const Point& p);
+
+  /// Minimum bounding rectangle; Rect::Empty() for an empty polyline.
+  const Rect& Mbr() const { return mbr_; }
+
+  /// Sum of segment lengths.
+  double Length() const;
+
+  /// True iff any segment of this polyline intersects any segment of
+  /// `other`, or either is a single point lying on the other. Two empty
+  /// polylines never intersect.
+  bool Intersects(const Polyline& other) const;
+
+  /// True iff the polyline shares at least one point with the closed
+  /// rectangle (the exact test of a window query's refinement step).
+  bool IntersectsRect(const Rect& rect) const;
+
+ private:
+  std::vector<Point> points_;
+  Rect mbr_ = Rect::Empty();
+};
+
+}  // namespace psj
+
+#endif  // PSJ_GEO_POLYLINE_H_

@@ -1,0 +1,63 @@
+#include "geo/rect.h"
+
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace psj {
+
+Rect Rect::Empty() {
+  const double inf = std::numeric_limits<double>::infinity();
+  return Rect(inf, inf, -inf, -inf);
+}
+
+std::string Rect::ToString() const {
+  return StringPrintf("[%g,%g x %g,%g]", xl, yl, xu, yu);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << r.ToString();
+}
+
+double MinDistSq(const Point& p, const Rect& rect) {
+  const double dx =
+      p.x < rect.xl ? rect.xl - p.x : (p.x > rect.xu ? p.x - rect.xu : 0.0);
+  const double dy =
+      p.y < rect.yl ? rect.yl - p.y : (p.y > rect.yu ? p.y - rect.yu : 0.0);
+  return dx * dx + dy * dy;
+}
+
+namespace {
+
+// Overlap of the 1-d closed intervals [al, au] and [bl, bu] divided by the
+// shorter interval's length; 1.0 when either interval is a point inside the
+// other.
+double IntervalOverlapDegree(double al, double au, double bl, double bu) {
+  const double overlap = std::min(au, bu) - std::max(al, bl);
+  if (overlap < 0.0) {
+    return 0.0;
+  }
+  const double shorter = std::min(au - al, bu - bl);
+  if (shorter <= 0.0) {
+    return 1.0;  // A point or degenerate extent touching the other interval.
+  }
+  return std::min(1.0, overlap / shorter);
+}
+
+}  // namespace
+
+double OverlapDegree(const Rect& a, const Rect& b) {
+  if (!a.Intersects(b)) {
+    return 0.0;
+  }
+  const double min_area = std::min(a.Area(), b.Area());
+  if (min_area > 0.0) {
+    return std::min(1.0, a.IntersectionArea(b) / min_area);
+  }
+  // Degenerate MBR (horizontal/vertical segment or point): use the product
+  // of per-axis interval overlaps instead of areas.
+  return IntervalOverlapDegree(a.xl, a.xu, b.xl, b.xu) *
+         IntervalOverlapDegree(a.yl, a.yu, b.yl, b.yu);
+}
+
+}  // namespace psj

@@ -1,0 +1,137 @@
+#ifndef PSJ_GEO_RECT_H_
+#define PSJ_GEO_RECT_H_
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+namespace psj {
+
+/// A 2-d point.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// \brief Axis-parallel rectangle given by lower-left (xl, yl) and
+/// upper-right (xu, yu) corners, as in the paper's §2.2.
+///
+/// A rectangle is *valid* iff xl <= xu and yl <= yu. Degenerate rectangles
+/// (zero width and/or height) are valid: they arise as MBRs of horizontal or
+/// vertical street segments. All predicates treat boundaries as closed, so
+/// two rectangles sharing only an edge or corner intersect.
+struct Rect {
+  double xl = 0.0;
+  double yl = 0.0;
+  double xu = 0.0;
+  double yu = 0.0;
+
+  Rect() = default;
+  Rect(double xl_in, double yl_in, double xu_in, double yu_in)
+      : xl(xl_in), yl(yl_in), xu(xu_in), yu(yu_in) {}
+
+  /// An "empty" rectangle that acts as the identity for ExpandToInclude.
+  static Rect Empty();
+
+  /// The MBR of a single point.
+  static Rect FromPoint(const Point& p) { return Rect(p.x, p.y, p.x, p.y); }
+
+  bool IsValid() const { return xl <= xu && yl <= yu; }
+
+  double Width() const { return xu - xl; }
+  double Height() const { return yu - yl; }
+  double Area() const { return Width() * Height(); }
+  /// Half perimeter; the R*-tree split heuristic calls this the margin.
+  double Margin() const { return Width() + Height(); }
+  Point Center() const { return Point{(xl + xu) / 2.0, (yl + yu) / 2.0}; }
+
+  /// True iff the closed rectangles share at least one point.
+  bool Intersects(const Rect& other) const {
+    return xl <= other.xu && other.xl <= xu && yl <= other.yu &&
+           other.yl <= yu;
+  }
+
+  /// True iff `other` lies entirely inside this rectangle (boundaries
+  /// included).
+  bool Contains(const Rect& other) const {
+    return xl <= other.xl && other.xu <= xu && yl <= other.yl &&
+           other.yu <= yu;
+  }
+
+  /// True iff the point lies inside this rectangle (boundaries included).
+  bool ContainsPoint(const Point& p) const {
+    return xl <= p.x && p.x <= xu && yl <= p.y && p.y <= yu;
+  }
+
+  /// The intersection rectangle; invalid (xl > xu or yl > yu) when the
+  /// rectangles do not intersect.
+  Rect Intersection(const Rect& other) const {
+    return Rect(std::max(xl, other.xl), std::max(yl, other.yl),
+                std::min(xu, other.xu), std::min(yu, other.yu));
+  }
+
+  /// Area of the intersection, 0 when disjoint or degenerate.
+  double IntersectionArea(const Rect& other) const {
+    const double w = std::min(xu, other.xu) - std::max(xl, other.xl);
+    const double h = std::min(yu, other.yu) - std::max(yl, other.yl);
+    return (w > 0.0 && h > 0.0) ? w * h : 0.0;
+  }
+
+  /// The smallest rectangle containing both.
+  Rect UnionWith(const Rect& other) const {
+    return Rect(std::min(xl, other.xl), std::min(yl, other.yl),
+                std::max(xu, other.xu), std::max(yu, other.yu));
+  }
+
+  /// Grows this rectangle in place to include `other`.
+  void ExpandToInclude(const Rect& other) {
+    xl = std::min(xl, other.xl);
+    yl = std::min(yl, other.yl);
+    xu = std::max(xu, other.xu);
+    yu = std::max(yu, other.yu);
+  }
+
+  void ExpandToIncludePoint(const Point& p) {
+    xl = std::min(xl, p.x);
+    yl = std::min(yl, p.y);
+    xu = std::max(xu, p.x);
+    yu = std::max(yu, p.y);
+  }
+
+  /// Area increase needed to include `other` (the R-tree insertion
+  /// heuristic). Always >= 0 for valid rectangles.
+  double Enlargement(const Rect& other) const {
+    return UnionWith(other).Area() - Area();
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.xl == b.xl && a.yl == b.yl && a.xu == b.xu && a.yu == b.yu;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Rect& r);
+};
+
+/// Squared minimum distance between a point and the closed rectangle
+/// (0 when the point lies inside). The MINDIST bound of best-first
+/// nearest-neighbor search on R-trees.
+double MinDistSq(const Point& p, const Rect& rect);
+
+/// \brief Degree of overlap between two MBRs in [0, 1], used to derive the
+/// simulated refinement cost exactly as the paper does (§4.2: the exact
+/// geometry test is replaced by a waiting period whose length depends on the
+/// degree of overlap between the corresponding MBRs).
+///
+/// Defined as intersection area over the smaller rectangle's area; for
+/// degenerate (zero-area) rectangles it falls back to the overlap of the
+/// one-dimensional extents. Returns 0 for disjoint rectangles.
+double OverlapDegree(const Rect& a, const Rect& b);
+
+}  // namespace psj
+
+#endif  // PSJ_GEO_RECT_H_

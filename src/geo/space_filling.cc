@@ -1,0 +1,64 @@
+#include "geo/space_filling.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace psj {
+
+SpaceFillingCurve::SpaceFillingCurve(int order) : order_(order) {
+  PSJ_CHECK_GE(order, 1);
+  PSJ_CHECK_LE(order, 16);
+}
+
+uint64_t SpaceFillingCurve::PointIndex(const Point& p,
+                                       const Rect& world) const {
+  PSJ_CHECK(world.IsValid());
+  const double size = static_cast<double>(grid_size());
+  const double width = std::max(world.Width(), 1e-300);
+  const double height = std::max(world.Height(), 1e-300);
+  const auto clamp_cell = [&](double v) {
+    return static_cast<uint32_t>(
+        std::clamp(v, 0.0, size - 1.0));
+  };
+  const uint32_t x = clamp_cell((p.x - world.xl) / width * size);
+  const uint32_t y = clamp_cell((p.y - world.yl) / height * size);
+  return CellIndex(x, y);
+}
+
+uint64_t HilbertCurve::CellIndex(uint32_t x, uint32_t y) const {
+  PSJ_CHECK_LT(x, grid_size());
+  PSJ_CHECK_LT(y, grid_size());
+  // Classic iterative x/y -> d conversion with quadrant rotations.
+  uint64_t index = 0;
+  uint32_t rx = 0;
+  uint32_t ry = 0;
+  for (uint32_t s = grid_size() / 2; s > 0; s /= 2) {
+    rx = (x & s) > 0 ? 1 : 0;
+    ry = (y & s) > 0 ? 1 : 0;
+    index += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return index;
+}
+
+uint64_t ZOrderCurve::CellIndex(uint32_t x, uint32_t y) const {
+  PSJ_CHECK_LT(x, grid_size());
+  PSJ_CHECK_LT(y, grid_size());
+  // Interleave the bits of x (even positions) and y (odd positions).
+  uint64_t index = 0;
+  for (int bit = 0; bit < order_; ++bit) {
+    index |= static_cast<uint64_t>((x >> bit) & 1u) << (2 * bit);
+    index |= static_cast<uint64_t>((y >> bit) & 1u) << (2 * bit + 1);
+  }
+  return index;
+}
+
+}  // namespace psj

@@ -1,0 +1,57 @@
+#ifndef PSJ_GEO_SPACE_FILLING_H_
+#define PSJ_GEO_SPACE_FILLING_H_
+
+#include <cstdint>
+
+#include "geo/rect.h"
+
+namespace psj {
+
+/// \brief Space-filling curves over a 2^order x 2^order grid.
+///
+/// Used for *spatial declustering*: the paper's conclusions name the
+/// assignment of data to the disks of a shared-nothing architecture as
+/// future work; placing pages along a space-filling curve and striping the
+/// curve across disks keeps spatially adjacent pages on different disks, so
+/// spatially clustered access patterns (exactly what the plane-sweep order
+/// produces) spread over the whole array.
+class SpaceFillingCurve {
+ public:
+  /// Curve resolution: the grid has 2^order cells per axis. Order must be
+  /// in [1, 16] so indexes fit in 32 bits.
+  explicit SpaceFillingCurve(int order);
+  virtual ~SpaceFillingCurve() = default;
+
+  int order() const { return order_; }
+  uint32_t grid_size() const { return 1u << order_; }
+
+  /// Curve index of the grid cell (x, y); x and y must be < grid_size().
+  virtual uint64_t CellIndex(uint32_t x, uint32_t y) const = 0;
+
+  /// Curve index of a point within `world` (clamped to the grid).
+  uint64_t PointIndex(const Point& p, const Rect& world) const;
+
+ protected:
+  int order_;
+};
+
+/// Hilbert curve: consecutive indexes are always grid neighbors, giving the
+/// strongest locality preservation of the classic curves.
+class HilbertCurve : public SpaceFillingCurve {
+ public:
+  explicit HilbertCurve(int order) : SpaceFillingCurve(order) {}
+  uint64_t CellIndex(uint32_t x, uint32_t y) const override;
+};
+
+/// Z-order (Morton) curve: bit interleaving; weaker locality than Hilbert
+/// but trivially computable. This is the curve behind the z-ordering join
+/// of [OM 88] referenced in §2.1.
+class ZOrderCurve : public SpaceFillingCurve {
+ public:
+  explicit ZOrderCurve(int order) : SpaceFillingCurve(order) {}
+  uint64_t CellIndex(uint32_t x, uint32_t y) const override;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_GEO_SPACE_FILLING_H_

@@ -1,0 +1,79 @@
+#include "join/node_match.h"
+
+#include <span>
+
+#include "geo/plane_sweep.h"
+
+namespace psj {
+
+std::vector<std::pair<uint32_t, uint32_t>> MatchNodeEntries(
+    const RTreeNode& node_r, const RTreeNode& node_s,
+    const NodeMatchOptions& options, NodeMatchCounts* counts) {
+  std::vector<std::pair<uint32_t, uint32_t>> result;
+  NodeMatchCounts local_counts;
+
+  // Collect entry rectangles, applying the search-space restriction.
+  std::vector<Rect> rects_r;
+  std::vector<Rect> rects_s;
+  std::vector<uint32_t> ids_r;
+  std::vector<uint32_t> ids_s;
+  rects_r.reserve(node_r.entries.size());
+  rects_s.reserve(node_s.entries.size());
+  if (options.use_search_space_restriction) {
+    const Rect clip =
+        node_r.ComputeMbr().Intersection(node_s.ComputeMbr());
+    if (!clip.IsValid()) {
+      if (counts != nullptr) *counts = local_counts;
+      return result;
+    }
+    for (uint32_t i = 0; i < node_r.entries.size(); ++i) {
+      if (node_r.entries[i].rect.Intersects(clip)) {
+        rects_r.push_back(node_r.entries[i].rect);
+        ids_r.push_back(i);
+      }
+    }
+    for (uint32_t j = 0; j < node_s.entries.size(); ++j) {
+      if (node_s.entries[j].rect.Intersects(clip)) {
+        rects_s.push_back(node_s.entries[j].rect);
+        ids_s.push_back(j);
+      }
+    }
+  } else {
+    for (uint32_t i = 0; i < node_r.entries.size(); ++i) {
+      rects_r.push_back(node_r.entries[i].rect);
+      ids_r.push_back(i);
+    }
+    for (uint32_t j = 0; j < node_s.entries.size(); ++j) {
+      rects_s.push_back(node_s.entries[j].rect);
+      ids_s.push_back(j);
+    }
+  }
+  local_counts.entries_considered_r = rects_r.size();
+  local_counts.entries_considered_s = rects_s.size();
+
+  if (options.use_plane_sweep) {
+    PlaneSweepJoin(std::span<const Rect>(rects_r),
+                   std::span<const Rect>(rects_s),
+                   [&](size_t i, size_t j) {
+                     result.emplace_back(ids_r[i], ids_s[j]);
+                   });
+    // The sweep performs roughly one y-test per pair whose x-extents
+    // overlap; approximate the tested-pair count by the emitted pairs plus
+    // the scan positions (a lower bound, adequate for CPU charging).
+    local_counts.pairs_tested =
+        result.size() + rects_r.size() + rects_s.size();
+  } else {
+    for (size_t i = 0; i < rects_r.size(); ++i) {
+      for (size_t j = 0; j < rects_s.size(); ++j) {
+        ++local_counts.pairs_tested;
+        if (rects_r[i].Intersects(rects_s[j])) {
+          result.emplace_back(ids_r[i], ids_s[j]);
+        }
+      }
+    }
+  }
+  if (counts != nullptr) *counts = local_counts;
+  return result;
+}
+
+}  // namespace psj

@@ -1,0 +1,43 @@
+#ifndef PSJ_JOIN_NODE_MATCH_H_
+#define PSJ_JOIN_NODE_MATCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rtree/node.h"
+
+namespace psj {
+
+/// Options for the per-node-pair matching step (the CPU tuning techniques of
+/// §2.2, exposed individually for ablation benchmarks).
+struct NodeMatchOptions {
+  /// Technique (i): restrict both entry sets to those intersecting the
+  /// intersection of the two node MBRs before matching.
+  bool use_search_space_restriction = true;
+  /// Technique (ii): sort by xl and plane-sweep; otherwise nested loops.
+  bool use_plane_sweep = true;
+};
+
+/// CPU-work counters of one matching step, used to charge virtual time.
+struct NodeMatchCounts {
+  size_t entries_considered_r = 0;  // After the restriction.
+  size_t entries_considered_s = 0;
+  size_t pairs_tested = 0;  // Rectangle comparisons performed.
+};
+
+/// \brief Computes all pairs (index into `node_r`, index into `node_s`) of
+/// intersecting entries.
+///
+/// With plane-sweep enabled the pairs come out in *local plane-sweep order*
+/// (§2.2), which determines the page read order that preserves spatial
+/// locality; with nested loops they come out in entry order. Both modes
+/// produce the same set of pairs.
+std::vector<std::pair<uint32_t, uint32_t>> MatchNodeEntries(
+    const RTreeNode& node_r, const RTreeNode& node_s,
+    const NodeMatchOptions& options = NodeMatchOptions(),
+    NodeMatchCounts* counts = nullptr);
+
+}  // namespace psj
+
+#endif  // PSJ_JOIN_NODE_MATCH_H_

@@ -1,0 +1,71 @@
+#include "join/second_filter.h"
+
+#include "util/check.h"
+
+namespace psj {
+
+std::vector<Rect> ComputeSectionMbrs(const Polyline& line, int max_sections) {
+  PSJ_CHECK_GE(max_sections, 1);
+  std::vector<Rect> sections;
+  const auto& points = line.points();
+  if (points.empty()) {
+    return sections;
+  }
+  if (points.size() == 1) {
+    sections.push_back(Rect::FromPoint(points[0]));
+    return sections;
+  }
+  const size_t num_segments = points.size() - 1;
+  const size_t num_sections =
+      std::min<size_t>(static_cast<size_t>(max_sections), num_segments);
+  sections.reserve(num_sections);
+  // Distribute segments evenly; consecutive sections share their boundary
+  // vertex so the union of the section MBRs covers the whole polyline.
+  const size_t base = num_segments / num_sections;
+  const size_t extra = num_segments % num_sections;
+  size_t segment = 0;
+  for (size_t s = 0; s < num_sections; ++s) {
+    const size_t count = base + (s < extra ? 1 : 0);
+    Rect mbr = Rect::FromPoint(points[segment]);
+    for (size_t k = 0; k < count; ++k) {
+      mbr.ExpandToIncludePoint(points[segment + k + 1]);
+    }
+    sections.push_back(mbr);
+    segment += count;
+  }
+  return sections;
+}
+
+SecondFilter::SecondFilter(const ObjectStore& store, int max_sections)
+    : max_sections_(max_sections) {
+  PSJ_CHECK_GE(max_sections, 1);
+  sections_.reserve(store.size());
+  for (const MapObject& obj : store.objects()) {
+    sections_.push_back(ComputeSectionMbrs(obj.geometry, max_sections));
+  }
+}
+
+bool SecondFilter::CanIntersect(const std::vector<Rect>& a,
+                                const std::vector<Rect>& b,
+                                size_t* tests_performed) {
+  size_t tests = 0;
+  bool possible = false;
+  for (const Rect& ra : a) {
+    for (const Rect& rb : b) {
+      ++tests;
+      if (ra.Intersects(rb)) {
+        possible = true;
+        break;
+      }
+    }
+    if (possible) {
+      break;
+    }
+  }
+  if (tests_performed != nullptr) {
+    *tests_performed = tests;
+  }
+  return possible;
+}
+
+}  // namespace psj

@@ -1,0 +1,102 @@
+#include "join/sequential_join.h"
+
+#include <algorithm>
+
+namespace psj {
+namespace {
+
+class SequentialJoiner {
+ public:
+  SequentialJoiner(const RStarTree& tree_r, const RStarTree& tree_s,
+                   const SequentialJoinOptions& options)
+      : tree_r_(tree_r), tree_s_(tree_s), options_(options) {}
+
+  SequentialJoinResult Run() {
+    JoinPages(tree_r_.root_page(), tree_s_.root_page());
+    return std::move(result_);
+  }
+
+ private:
+  const RTreeNode& Fetch(const RStarTree& tree, uint32_t page) {
+    ++result_.node_reads;
+    return tree.node(page);
+  }
+
+  void JoinPages(uint32_t page_r, uint32_t page_s) {
+    const RTreeNode& nr = Fetch(tree_r_, page_r);
+    const RTreeNode& ns = Fetch(tree_s_, page_s);
+    if (nr.level > ns.level) {
+      // Descend the deeper tree only, keeping sweep order by child xl.
+      const Rect other = ns.ComputeMbr();
+      for (const RTreeEntry& entry : SortedEntries(nr)) {
+        if (entry.rect.Intersects(other)) {
+          JoinPages(entry.child_page(), page_s);
+        }
+      }
+      return;
+    }
+    if (ns.level > nr.level) {
+      const Rect other = nr.ComputeMbr();
+      for (const RTreeEntry& entry : SortedEntries(ns)) {
+        if (entry.rect.Intersects(other)) {
+          JoinPages(page_r, entry.child_page());
+        }
+      }
+      return;
+    }
+    ++result_.node_pairs_processed;
+    const auto pairs = MatchNodeEntries(nr, ns, options_.match);
+    if (nr.is_leaf()) {
+      for (const auto& [i, j] : pairs) {
+        result_.candidates.emplace_back(nr.entries[i].object_id(),
+                                        ns.entries[j].object_id());
+      }
+      return;
+    }
+    for (const auto& [i, j] : pairs) {
+      JoinPages(nr.entries[i].child_page(), ns.entries[j].child_page());
+    }
+  }
+
+  static std::vector<RTreeEntry> SortedEntries(const RTreeNode& node) {
+    std::vector<RTreeEntry> entries = node.entries;
+    std::sort(entries.begin(), entries.end(),
+              [](const RTreeEntry& a, const RTreeEntry& b) {
+                if (a.rect.xl != b.rect.xl) return a.rect.xl < b.rect.xl;
+                return a.id < b.id;
+              });
+    return entries;
+  }
+
+  const RStarTree& tree_r_;
+  const RStarTree& tree_s_;
+  const SequentialJoinOptions& options_;
+  SequentialJoinResult result_;
+};
+
+}  // namespace
+
+SequentialJoinResult SequentialRTreeJoin(const RStarTree& tree_r,
+                                         const RStarTree& tree_s,
+                                         const SequentialJoinOptions& options) {
+  SequentialJoiner joiner(tree_r, tree_s, options);
+  return joiner.Run();
+}
+
+BruteForceJoinResult BruteForceObjectJoin(const ObjectStore& store_r,
+                                          const ObjectStore& store_s) {
+  BruteForceJoinResult result;
+  for (const MapObject& a : store_r.objects()) {
+    for (const MapObject& b : store_s.objects()) {
+      if (a.Mbr().Intersects(b.Mbr())) {
+        result.candidates.emplace_back(a.id, b.id);
+        if (a.geometry.Intersects(b.geometry)) {
+          result.answers.emplace_back(a.id, b.id);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace psj

@@ -1,0 +1,102 @@
+#include "rtree/node.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace psj {
+
+Rect RTreeNode::ComputeMbr() const {
+  Rect mbr = Rect::Empty();
+  for (const RTreeEntry& entry : entries) {
+    mbr.ExpandToInclude(entry.rect);
+  }
+  return mbr;
+}
+
+namespace {
+
+// Header layout: level (int16), entry count (uint16), 12 bytes reserved.
+constexpr size_t kLevelOffset = 0;
+constexpr size_t kCountOffset = 2;
+
+void StoreU16(PageData* page, size_t offset, uint16_t value) {
+  std::memcpy(page->data() + offset, &value, sizeof(value));
+}
+
+uint16_t LoadU16(const PageData& page, size_t offset) {
+  uint16_t value = 0;
+  std::memcpy(&value, page.data() + offset, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+void PackNode(const RTreeNode& node, PageData* page) {
+  PSJ_CHECK(page != nullptr);
+  PSJ_CHECK_GE(node.level, 0);
+  const size_t entry_size = node.is_leaf() ? kDataEntrySize : kDirEntrySize;
+  const size_t capacity = node.is_leaf() ? kMaxDataEntries : kMaxDirEntries;
+  PSJ_CHECK_LE(node.entries.size(), capacity);
+
+  page->fill(std::byte{0});
+  StoreU16(page, kLevelOffset, static_cast<uint16_t>(node.level));
+  StoreU16(page, kCountOffset, static_cast<uint16_t>(node.entries.size()));
+
+  size_t offset = kPageHeaderSize;
+  for (const RTreeEntry& entry : node.entries) {
+    const double coords[4] = {entry.rect.xl, entry.rect.yl, entry.rect.xu,
+                              entry.rect.yu};
+    std::memcpy(page->data() + offset, coords, sizeof(coords));
+    if (node.is_leaf()) {
+      // Data entry: 8-byte object id; the remaining 116 bytes model the
+      // pointer to (and prefix of) the exact object representation.
+      std::memcpy(page->data() + offset + sizeof(coords), &entry.id,
+                  sizeof(entry.id));
+    } else {
+      const uint32_t child = entry.child_page();
+      std::memcpy(page->data() + offset + sizeof(coords), &child,
+                  sizeof(child));
+    }
+    offset += entry_size;
+  }
+}
+
+StatusOr<RTreeNode> UnpackNode(const PageData& page) {
+  RTreeNode node;
+  node.level = static_cast<int16_t>(LoadU16(page, kLevelOffset));
+  const uint16_t count = LoadU16(page, kCountOffset);
+  if (node.level < 0) {
+    return Status::Corruption("negative node level");
+  }
+  const size_t entry_size = node.is_leaf() ? kDataEntrySize : kDirEntrySize;
+  const size_t capacity = node.is_leaf() ? kMaxDataEntries : kMaxDirEntries;
+  if (count > capacity) {
+    return Status::Corruption(StringPrintf(
+        "entry count %u exceeds page capacity %zu", count, capacity));
+  }
+  node.entries.resize(count);
+  size_t offset = kPageHeaderSize;
+  for (RTreeEntry& entry : node.entries) {
+    double coords[4];
+    std::memcpy(coords, page.data() + offset, sizeof(coords));
+    entry.rect = Rect(coords[0], coords[1], coords[2], coords[3]);
+    if (!entry.rect.IsValid()) {
+      return Status::Corruption("invalid rectangle in node entry");
+    }
+    if (node.is_leaf()) {
+      std::memcpy(&entry.id, page.data() + offset + sizeof(coords),
+                  sizeof(entry.id));
+    } else {
+      uint32_t child = 0;
+      std::memcpy(&child, page.data() + offset + sizeof(coords),
+                  sizeof(child));
+      entry.id = child;
+    }
+    offset += entry_size;
+  }
+  return node;
+}
+
+}  // namespace psj

@@ -1,0 +1,132 @@
+#include "rtree/str_loader.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace psj {
+namespace {
+
+// Packs `entries` (already in final order) into nodes of at most
+// `node_capacity` entries, appending the nodes to `nodes` and returning one
+// directory entry per created node.
+std::vector<RTreeEntry> PackLevel(const std::vector<RTreeEntry>& entries,
+                                  int level, size_t node_capacity,
+                                  std::vector<RTreeNode>* nodes) {
+  std::vector<RTreeEntry> parent_entries;
+  const size_t count = entries.size();
+  const size_t num_nodes = (count + node_capacity - 1) / node_capacity;
+  parent_entries.reserve(num_nodes);
+  // Distribute entries evenly so the rightmost node is not left nearly
+  // empty (it may still fall below the R* insertion minimum when the
+  // remainder is unlucky; see BuildStrTree's documentation).
+  const size_t base = count / num_nodes;
+  const size_t extra = count % num_nodes;
+  size_t start = 0;
+  for (size_t k = 0; k < num_nodes; ++k) {
+    const size_t size = base + (k < extra ? 1 : 0);
+    const size_t end = start + size;
+    RTreeNode node;
+    node.level = static_cast<int16_t>(level);
+    node.entries.assign(entries.begin() + static_cast<long>(start),
+                        entries.begin() + static_cast<long>(end));
+    const uint32_t page_no = static_cast<uint32_t>(nodes->size());
+    const Rect mbr = node.ComputeMbr();
+    nodes->push_back(std::move(node));
+    parent_entries.push_back(RTreeEntry{mbr, page_no});
+    start = end;
+  }
+  return parent_entries;
+}
+
+// STR tiling: sorts by x-center, slices, sorts slices by y-center.
+void TileEntries(std::vector<RTreeEntry>* entries, size_t node_capacity) {
+  const size_t count = entries->size();
+  const size_t num_nodes = (count + node_capacity - 1) / node_capacity;
+  const size_t num_slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+  const size_t slice_size = num_slices == 0
+                                ? count
+                                : (count + num_slices - 1) / num_slices;
+  std::sort(entries->begin(), entries->end(),
+            [](const RTreeEntry& a, const RTreeEntry& b) {
+              const double ca = a.rect.Center().x;
+              const double cb = b.rect.Center().x;
+              if (ca != cb) return ca < cb;
+              return a.id < b.id;
+            });
+  for (size_t start = 0; start < count; start += slice_size) {
+    const size_t end = std::min(count, start + slice_size);
+    std::sort(entries->begin() + static_cast<long>(start),
+              entries->begin() + static_cast<long>(end),
+              [](const RTreeEntry& a, const RTreeEntry& b) {
+                const double ca = a.rect.Center().y;
+                const double cb = b.rect.Center().y;
+                if (ca != cb) return ca < cb;
+                return a.id < b.id;
+              });
+  }
+}
+
+}  // namespace
+
+RStarTree BuildStrTree(uint32_t tree_id,
+                       const std::vector<RTreeEntry>& data_entries,
+                       StrLoadOptions load_options,
+                       RTreeOptions tree_options) {
+  PSJ_CHECK_GT(load_options.fill_fraction, 0.0);
+  PSJ_CHECK_LE(load_options.fill_fraction, 1.0);
+
+  // nodes[0] is the reserved metadata slot.
+  std::vector<RTreeNode> nodes(1);
+
+  if (data_entries.empty()) {
+    RTreeNode empty_leaf;
+    empty_leaf.level = 0;
+    nodes.push_back(std::move(empty_leaf));
+    return RStarTree::FromNodes(tree_id, std::move(nodes), 1, 1, 0, {},
+                                tree_options);
+  }
+
+  const auto effective_capacity = [&](size_t max_entries) {
+    const size_t target = static_cast<size_t>(
+        load_options.fill_fraction * static_cast<double>(max_entries));
+    return std::max<size_t>(2, std::min(target, max_entries));
+  };
+
+  std::vector<RTreeEntry> current = data_entries;
+  int level = 0;
+  for (;;) {
+    const size_t capacity = effective_capacity(
+        level == 0 ? tree_options.max_data_entries
+                   : tree_options.max_dir_entries);
+    if (current.size() <= capacity && level > 0) {
+      // `current` fits in a single node: it becomes the root.
+      RTreeNode root;
+      root.level = static_cast<int16_t>(level);
+      root.entries = std::move(current);
+      const uint32_t root_page = static_cast<uint32_t>(nodes.size());
+      nodes.push_back(std::move(root));
+      return RStarTree::FromNodes(
+          tree_id, std::move(nodes), root_page, level + 1,
+          static_cast<int64_t>(data_entries.size()), {}, tree_options);
+    }
+    if (current.size() <= capacity && level == 0) {
+      // All data fits in one leaf.
+      RTreeNode root;
+      root.level = 0;
+      root.entries = std::move(current);
+      const uint32_t root_page = static_cast<uint32_t>(nodes.size());
+      nodes.push_back(std::move(root));
+      return RStarTree::FromNodes(
+          tree_id, std::move(nodes), root_page, 1,
+          static_cast<int64_t>(data_entries.size()), {}, tree_options);
+    }
+    TileEntries(&current, capacity);
+    current = PackLevel(current, level, capacity, &nodes);
+    ++level;
+  }
+}
+
+}  // namespace psj

@@ -1,0 +1,32 @@
+#ifndef PSJ_RTREE_STR_LOADER_H_
+#define PSJ_RTREE_STR_LOADER_H_
+
+#include <vector>
+
+#include "rtree/rstar_tree.h"
+
+namespace psj {
+
+/// Options for Sort-Tile-Recursive bulk loading.
+struct StrLoadOptions {
+  /// Target node occupancy as a fraction of the page capacity. 1.0 packs
+  /// pages completely; ~0.7 approximates the occupancy of an
+  /// insertion-built R*-tree (useful when comparing tree shapes).
+  double fill_fraction = 1.0;
+};
+
+/// \brief Builds an R*-tree bottom-up with the Sort-Tile-Recursive (STR)
+/// algorithm: sort by x-center, cut into vertical slices, sort each slice by
+/// y-center, pack nodes; repeat per level.
+///
+/// Provided as an extension / ablation against the paper's insertion-built
+/// trees: STR is orders of magnitude faster to build and usually yields
+/// fewer pages, at slightly different join locality.
+RStarTree BuildStrTree(uint32_t tree_id,
+                       const std::vector<RTreeEntry>& data_entries,
+                       StrLoadOptions load_options = StrLoadOptions(),
+                       RTreeOptions tree_options = RTreeOptions());
+
+}  // namespace psj
+
+#endif  // PSJ_RTREE_STR_LOADER_H_

@@ -1,0 +1,30 @@
+#ifndef PSJ_RTREE_VALIDATOR_H_
+#define PSJ_RTREE_VALIDATOR_H_
+
+#include "rtree/rstar_tree.h"
+#include "util/status.h"
+
+namespace psj {
+
+/// \brief Deep structural validation of an R*-tree.
+///
+/// Checks, over the whole tree:
+///  - the root is at level height-1 and every child is exactly one level
+///    below its parent (the tree is height-balanced);
+///  - every directory entry's rectangle equals the MBR of its child node;
+///  - every non-root node respects the minimum fill, no node exceeds its
+///    page capacity, and a directory root has at least 2 entries;
+///  - page numbers referenced are live (not freed) and each live page is
+///    referenced exactly once;
+///  - the number of data entries matches the tree's counter.
+///
+/// Returns OK or a Corruption status describing the first violation.
+///
+/// `enforce_min_fill` applies the R* insertion invariant (non-root nodes
+/// hold at least the minimum fill); pass false for bulk-loaded (STR) trees,
+/// whose remainder nodes may legitimately be slimmer.
+Status ValidateRTree(const RStarTree& tree, bool enforce_min_fill = true);
+
+}  // namespace psj
+
+#endif  // PSJ_RTREE_VALIDATOR_H_

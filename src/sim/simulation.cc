@@ -1,0 +1,143 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+namespace psj::sim {
+
+Process::Process(Scheduler* scheduler, int id,
+                 std::function<void(Process&)> body)
+    : scheduler_(scheduler), id_(id), body_(std::move(body)) {
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void Process::ThreadMain() {
+  {
+    // Wait for the scheduler to select this process for the first time.
+    std::unique_lock<std::mutex> lock(scheduler_->mu_);
+    cv_.wait(lock, [this] { return state_ == State::kRunning; });
+    now_ = resume_time_;
+  }
+  body_(*this);
+  {
+    std::unique_lock<std::mutex> lock(scheduler_->mu_);
+    state_ = State::kFinished;
+    scheduler_->EnterScheduler(lock);
+  }
+}
+
+void Process::YieldUntil(SimTime t) {
+  PSJ_CHECK(state_ == State::kRunning)
+      << "sim primitive called outside the running process";
+  std::unique_lock<std::mutex> lock(scheduler_->mu_);
+  resume_time_ = std::max(now_, t);
+  state_ = State::kReady;
+  scheduler_->EnterScheduler(lock);
+  cv_.wait(lock, [this] { return state_ == State::kRunning; });
+  now_ = resume_time_;
+}
+
+SimTime Process::Block() {
+  PSJ_CHECK(state_ == State::kRunning)
+      << "sim primitive called outside the running process";
+  std::unique_lock<std::mutex> lock(scheduler_->mu_);
+  state_ = State::kBlocked;
+  scheduler_->EnterScheduler(lock);
+  cv_.wait(lock, [this] { return state_ == State::kRunning; });
+  now_ = resume_time_;
+  return now_;
+}
+
+bool Process::MakeReadyIfBlocked(SimTime t) {
+  // Although only the single running process mutates scheduler state, the
+  // blocked target thread re-evaluates its condition-variable predicate
+  // under the scheduler mutex, so the state transition must hold it too.
+  std::unique_lock<std::mutex> lock(scheduler_->mu_);
+  if (state_ != State::kBlocked) {
+    return false;
+  }
+  state_ = State::kReady;
+  resume_time_ = std::max(now_, t);
+  return true;
+}
+
+Scheduler::~Scheduler() {
+  for (auto& process : processes_) {
+    if (process->thread_.joinable()) {
+      process->thread_.join();
+    }
+  }
+}
+
+Process* Scheduler::Spawn(std::function<void(Process&)> body) {
+  PSJ_CHECK(!started_) << "Spawn() after Run() is not supported";
+  const int id = static_cast<int>(processes_.size());
+  processes_.push_back(
+      std::unique_ptr<Process>(new Process(this, id, std::move(body))));
+  Process* p = processes_.back().get();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    p->state_ = Process::State::kReady;
+    p->resume_time_ = 0;
+  }
+  return p;
+}
+
+void Scheduler::EnterScheduler(std::unique_lock<std::mutex>& lock) {
+  running_ = nullptr;
+  cv_.notify_one();  // Only the scheduler loop waits on this variable.
+  (void)lock;  // The caller keeps the lock; the scheduler loop observes
+               // running_ == nullptr under it.
+}
+
+void Scheduler::Run() {
+  PSJ_CHECK(!started_) << "Run() may only be called once";
+  started_ = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Pick the ready process with minimal (resume_time, id).
+    Process* next = nullptr;
+    bool any_live = false;
+    for (auto& candidate : processes_) {
+      if (candidate->state_ == Process::State::kFinished) {
+        continue;
+      }
+      any_live = true;
+      if (candidate->state_ != Process::State::kReady) {
+        continue;
+      }
+      if (next == nullptr || candidate->resume_time_ < next->resume_time_ ||
+          (candidate->resume_time_ == next->resume_time_ &&
+           candidate->id_ < next->id_)) {
+        next = candidate.get();
+      }
+    }
+    if (!any_live) {
+      break;  // All processes finished.
+    }
+    PSJ_CHECK(next != nullptr)
+        << "simulation deadlock: live processes exist but none is ready";
+    next->state_ = Process::State::kRunning;
+    running_ = next;
+    next->cv_.notify_one();
+    cv_.wait(lock, [this] { return running_ == nullptr; });
+  }
+  end_time_ = 0;
+  for (auto& process : processes_) {
+    end_time_ = std::max(end_time_, process->now_);
+  }
+}
+
+void Resource::Use(Process& p, SimTime duration) {
+  PSJ_CHECK_GE(duration, 0);
+  // Sync so requests arrive at the server in global virtual-time order.
+  p.Sync();
+  const SimTime arrival = p.now();
+  const SimTime start = std::max(arrival, next_free_);
+  next_free_ = start + duration;
+  ++num_uses_;
+  busy_time_ += duration;
+  queue_wait_time_ += start - arrival;
+  p.WaitUntil(next_free_);
+}
+
+}  // namespace psj::sim

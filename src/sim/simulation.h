@@ -1,0 +1,248 @@
+#ifndef PSJ_SIM_SIMULATION_H_
+#define PSJ_SIM_SIMULATION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace psj::sim {
+
+/// Virtual time in microseconds. All cost constants of the paper's §4.2
+/// (disk access 16 ms, data page + cluster 37.5 ms, refinement 2–18 ms, ...)
+/// are expressed in this unit.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1'000'000;
+
+class Scheduler;
+
+/// \brief A logical process (one simulated KSR1 processor) driven by the
+/// Scheduler in virtual-time order.
+///
+/// Each process is backed by a dedicated OS thread, but the Scheduler lets
+/// exactly one process run at a time — the one with the smallest virtual
+/// clock — so the simulation is deterministic and shared C++ data structures
+/// (the shared virtual memory of the paper's platform) can be accessed
+/// without data races.
+///
+/// A process accumulates CPU cost locally via Advance() without yielding
+/// (*lookahead*); it must interact with shared simulation objects only
+/// through primitives that first Sync(), which re-establishes global
+/// virtual-time order.
+class Process {
+ public:
+  enum class State { kCreated, kReady, kRunning, kBlocked, kFinished };
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Stable process id in [0, num_processes).
+  int id() const { return id_; }
+
+  /// The process's local virtual clock.
+  SimTime now() const { return now_; }
+
+  /// Adds local CPU time without yielding control (safe lookahead).
+  void Advance(SimTime dt) {
+    PSJ_CHECK_GE(dt, 0);
+    now_ += dt;
+  }
+
+  /// Yields to the scheduler so that every process with an earlier clock
+  /// runs first. Call (or use a primitive that calls it) before touching
+  /// shared simulation state.
+  void Sync() { YieldUntil(now_); }
+
+  /// Advances the clock to max(now, t), yielding so earlier processes run.
+  void WaitUntil(SimTime t) { YieldUntil(std::max(now_, t)); }
+
+  /// Blocks until another process calls MakeReadyIfBlocked(). Returns the
+  /// time at which the process was resumed.
+  SimTime Block();
+
+  /// If the process is blocked, makes it ready to resume at
+  /// max(its clock, t). Must be called by the currently running process.
+  /// Returns true if the process was blocked.
+  bool MakeReadyIfBlocked(SimTime t);
+
+  /// Virtual time at which the process body returned; valid once finished.
+  SimTime finish_time() const {
+    PSJ_CHECK(state_ == State::kFinished);
+    return now_;
+  }
+
+  State state() const { return state_; }
+
+ private:
+  friend class Scheduler;
+
+  Process(Scheduler* scheduler, int id, std::function<void(Process&)> body);
+
+  /// Parks this process with resume time `t` and hands control back to the
+  /// scheduler; returns when the scheduler selects it again, with
+  /// now_ == resume_time_.
+  void YieldUntil(SimTime t);
+
+  void ThreadMain();
+
+  Scheduler* const scheduler_;
+  const int id_;
+  const std::function<void(Process&)> body_;
+  State state_ = State::kCreated;
+  SimTime now_ = 0;
+  SimTime resume_time_ = 0;
+  // Per-process wakeup channel: the scheduler signals exactly the process
+  // it selected, avoiding a thundering herd on every handoff.
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+/// \brief Deterministic discrete-event scheduler.
+///
+/// Owns the processes, runs them one at a time in (resume_time, id) order,
+/// and detects deadlocks (all live processes blocked). The combination of
+/// minimal-time scheduling and Sync()-before-shared-access yields
+/// bit-reproducible experiments.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Creates a process that will run `body`. All processes must be spawned
+  /// before Run() is called.
+  Process* Spawn(std::function<void(Process&)> body);
+
+  /// Runs the simulation until every process has finished. Aborts via
+  /// PSJ_CHECK on deadlock (some processes blocked, none ready).
+  void Run();
+
+  /// Virtual time of the last finishing process; valid after Run().
+  SimTime end_time() const { return end_time_; }
+
+  int num_processes() const { return static_cast<int>(processes_.size()); }
+  Process* process(int id) { return processes_[static_cast<size_t>(id)].get(); }
+
+ private:
+  friend class Process;
+
+  // Transfers control from the running process back to the scheduler loop.
+  // Called by Process::YieldUntil / Block / ThreadMain with state already
+  // updated.
+  void EnterScheduler(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Process* running_ = nullptr;
+  bool started_ = false;
+  SimTime end_time_ = 0;
+};
+
+/// \brief A FIFO-served exclusive resource in virtual time — one disk of the
+/// simulated disk array, in the paper's setup.
+///
+/// A process requesting service waits until the server is free, then holds
+/// it for `duration`. Requests are served in the virtual-time order of their
+/// arrival (processes Sync() on entry, so arrival order is well defined).
+class Resource {
+ public:
+  explicit Resource(std::string name) : name_(std::move(name)) {}
+
+  /// Performs one service of length `duration`: the calling process's clock
+  /// ends at max(now, server_free) + duration.
+  void Use(Process& p, SimTime duration);
+
+  const std::string& name() const { return name_; }
+  int64_t num_uses() const { return num_uses_; }
+  SimTime busy_time() const { return busy_time_; }
+  /// Total virtual time requesters spent queued (not being served).
+  SimTime queue_wait_time() const { return queue_wait_time_; }
+
+ private:
+  const std::string name_;
+  SimTime next_free_ = 0;
+  int64_t num_uses_ = 0;
+  SimTime busy_time_ = 0;
+  SimTime queue_wait_time_ = 0;
+};
+
+/// \brief Point-to-point message queue with delivery latency, used for the
+/// task-reassignment protocol (idle processor asks a victim for part of its
+/// work load).
+///
+/// Messages become visible `delay` after the virtual send time. The owner
+/// polls with TryReceive() at its sync points or blocks in
+/// BlockingReceive().
+template <typename T>
+class Mailbox {
+ public:
+  /// Binds the mailbox to the process that will receive from it.
+  void BindOwner(Process* owner) { owner_ = owner; }
+
+  /// Sends `msg` from `sender`; it is deliverable at sender.now() + delay.
+  void Send(Process& sender, T msg, SimTime delay) {
+    sender.Sync();
+    const SimTime deliver_time = sender.now() + delay;
+    queue_.push_back(Envelope{deliver_time, std::move(msg)});
+    PSJ_CHECK(owner_ != nullptr);
+    owner_->MakeReadyIfBlocked(deliver_time);
+  }
+
+  /// Returns a message already deliverable at the caller's current time, if
+  /// any. The caller must be the owner.
+  std::optional<T> TryReceive(Process& self) {
+    self.Sync();
+    if (!queue_.empty() && queue_.front().deliver_time <= self.now()) {
+      T msg = std::move(queue_.front().payload);
+      queue_.pop_front();
+      return msg;
+    }
+    return std::nullopt;
+  }
+
+  /// Waits (in virtual time) until a message is deliverable and returns it.
+  T BlockingReceive(Process& self) {
+    self.Sync();
+    for (;;) {
+      if (!queue_.empty()) {
+        if (queue_.front().deliver_time <= self.now()) {
+          T msg = std::move(queue_.front().payload);
+          queue_.pop_front();
+          return msg;
+        }
+        self.WaitUntil(queue_.front().deliver_time);
+        continue;
+      }
+      self.Block();
+    }
+  }
+
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Envelope {
+    SimTime deliver_time;
+    T payload;
+  };
+
+  Process* owner_ = nullptr;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace psj::sim
+
+#endif  // PSJ_SIM_SIMULATION_H_

@@ -1,0 +1,56 @@
+#include "storage/disk_array.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace psj {
+
+DiskArrayModel::DiskArrayModel(int num_disks, DiskParameters params)
+    : num_disks_(num_disks), params_(params) {
+  PSJ_CHECK_GT(num_disks, 0);
+  disks_.reserve(static_cast<size_t>(num_disks));
+  for (int i = 0; i < num_disks; ++i) {
+    disks_.push_back(
+        std::make_unique<sim::Resource>(StringPrintf("disk-%d", i)));
+  }
+}
+
+void DiskArrayModel::SetExplicitPlacement(
+    std::unordered_map<PageId, int, PageIdHash> placement) {
+  for (const auto& [page, disk] : placement) {
+    PSJ_CHECK_GE(disk, 0);
+    PSJ_CHECK_LT(disk, num_disks_);
+  }
+  explicit_placement_ = std::move(placement);
+}
+
+void DiskArrayModel::ReadPage(sim::Process& p, const PageId& page,
+                              bool is_data_page) {
+  const sim::SimTime cost = is_data_page ? params_.DataPageWithClusterCost()
+                                         : params_.DirectoryPageCost();
+  disks_[static_cast<size_t>(DiskOf(page))]->Use(p, cost);
+}
+
+int64_t DiskArrayModel::total_accesses() const {
+  int64_t total = 0;
+  for (const auto& disk : disks_) {
+    total += disk->num_uses();
+  }
+  return total;
+}
+
+int64_t DiskArrayModel::disk_accesses(int disk) const {
+  PSJ_CHECK_GE(disk, 0);
+  PSJ_CHECK_LT(disk, num_disks_);
+  return disks_[static_cast<size_t>(disk)]->num_uses();
+}
+
+sim::SimTime DiskArrayModel::total_queue_wait() const {
+  sim::SimTime total = 0;
+  for (const auto& disk : disks_) {
+    total += disk->queue_wait_time();
+  }
+  return total;
+}
+
+}  // namespace psj

@@ -1,0 +1,90 @@
+#ifndef PSJ_STORAGE_DISK_ARRAY_H_
+#define PSJ_STORAGE_DISK_ARRAY_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "storage/page.h"
+
+namespace psj {
+
+/// Timing parameters of one disk, defaults from the paper's §4.2: average
+/// seek 9 ms + average latency 6 ms + 1 ms transfer per 4 KB page = 16 ms
+/// per page read; a data page read includes its ~26 KB geometry cluster
+/// ([BK 94]-style clustering, one cluster per data page) for 37.5 ms total.
+struct DiskParameters {
+  sim::SimTime seek = 9 * sim::kMillisecond;
+  sim::SimTime latency = 6 * sim::kMillisecond;
+  sim::SimTime page_transfer = 1 * sim::kMillisecond;
+  /// Additional time to also transfer the geometry cluster of a data page.
+  sim::SimTime cluster_extra = sim::SimTime{21'500};  // 37.5 ms total.
+
+  sim::SimTime DirectoryPageCost() const {
+    return seek + latency + page_transfer;
+  }
+  sim::SimTime DataPageWithClusterCost() const {
+    return seek + latency + page_transfer + cluster_extra;
+  }
+};
+
+/// \brief The paper's simulated disk array (§4.2).
+///
+/// Pages are assigned to disks with a modulo function of the page number
+/// (spatial aspects play no role), and each disk serves requests FIFO in
+/// virtual time, which models the "synchronization at the disks" that caps
+/// speed-up when d < n.
+class DiskArrayModel {
+ public:
+  DiskArrayModel(int num_disks, DiskParameters params);
+
+  DiskArrayModel(const DiskArrayModel&) = delete;
+  DiskArrayModel& operator=(const DiskArrayModel&) = delete;
+
+  /// The disk a page lives on: the explicit placement if one was set for
+  /// the page, else modulo placement.
+  int DiskOf(const PageId& page) const {
+    if (!explicit_placement_.empty()) {
+      const auto it = explicit_placement_.find(page);
+      if (it != explicit_placement_.end()) {
+        return it->second;
+      }
+    }
+    // Modulo placement as in the paper; file_id offsets the two trees so
+    // their roots do not necessarily collide on disk 0.
+    return static_cast<int>((page.page_no + page.file_id) %
+                            static_cast<uint32_t>(num_disks_));
+  }
+
+  /// Overrides the disk of individual pages (spatial declustering for the
+  /// shared-nothing experiments). Unlisted pages keep modulo placement.
+  /// Must be called before the simulation starts.
+  void SetExplicitPlacement(
+      std::unordered_map<PageId, int, PageIdHash> placement);
+
+  /// Charges the virtual time of reading `page` from disk to `p`,
+  /// queueing at the owning disk. A data page read includes its geometry
+  /// cluster.
+  void ReadPage(sim::Process& p, const PageId& page, bool is_data_page);
+
+  int num_disks() const { return num_disks_; }
+  const DiskParameters& params() const { return params_; }
+
+  /// Total page reads across all disks.
+  int64_t total_accesses() const;
+  /// Page reads served by one disk.
+  int64_t disk_accesses(int disk) const;
+  /// Total virtual time requesters spent queued at the disks.
+  sim::SimTime total_queue_wait() const;
+
+ private:
+  const int num_disks_;
+  const DiskParameters params_;
+  std::vector<std::unique_ptr<sim::Resource>> disks_;
+  std::unordered_map<PageId, int, PageIdHash> explicit_placement_;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_STORAGE_DISK_ARRAY_H_

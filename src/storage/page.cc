@@ -1,0 +1,15 @@
+#include "storage/page.h"
+
+#include "util/string_util.h"
+
+namespace psj {
+
+std::string PageId::ToString() const {
+  return StringPrintf("%u:%u", file_id, page_no);
+}
+
+std::ostream& operator<<(std::ostream& os, const PageId& id) {
+  return os << id.ToString();
+}
+
+}  // namespace psj

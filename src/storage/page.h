@@ -1,0 +1,71 @@
+#ifndef PSJ_STORAGE_PAGE_H_
+#define PSJ_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace psj {
+
+/// Page layout constants from the paper's §4.1: 4 KB pages, 40-byte
+/// directory entries, 156-byte data entries.
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageHeaderSize = 16;
+inline constexpr size_t kDirEntrySize = 40;
+inline constexpr size_t kDataEntrySize = 156;
+
+/// Maximum entries per page. With the paper's sizes: 102 directory entries,
+/// 26 data entries — which yields the tree shape of Table 1.
+inline constexpr size_t kMaxDirEntries =
+    (kPageSize - kPageHeaderSize) / kDirEntrySize;
+inline constexpr size_t kMaxDataEntries =
+    (kPageSize - kPageHeaderSize) / kDataEntrySize;
+
+/// A raw 4 KB page image.
+using PageData = std::array<std::byte, kPageSize>;
+
+/// Identifies a page: which page file (= which R*-tree) and the page number
+/// within it. The page number also determines the disk the page lives on
+/// (modulo placement, §4.2).
+struct PageId {
+  uint32_t file_id = 0;
+  uint32_t page_no = 0;
+
+  static constexpr uint32_t kInvalidPageNo = 0xffffffffu;
+
+  static PageId Invalid() { return PageId{0, kInvalidPageNo}; }
+  bool IsValid() const { return page_no != kInvalidPageNo; }
+
+  friend bool operator==(const PageId& a, const PageId& b) {
+    return a.file_id == b.file_id && a.page_no == b.page_no;
+  }
+  friend bool operator!=(const PageId& a, const PageId& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const PageId& a, const PageId& b) {
+    if (a.file_id != b.file_id) return a.file_id < b.file_id;
+    return a.page_no < b.page_no;
+  }
+
+  std::string ToString() const;
+  friend std::ostream& operator<<(std::ostream& os, const PageId& id);
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    // 64-bit mix of (file_id, page_no).
+    uint64_t v =
+        (static_cast<uint64_t>(id.file_id) << 32) | id.page_no;
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    return static_cast<size_t>(v);
+  }
+};
+
+}  // namespace psj
+
+#endif  // PSJ_STORAGE_PAGE_H_

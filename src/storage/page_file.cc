@@ -1,0 +1,86 @@
+#include "storage/page_file.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace psj {
+namespace {
+
+constexpr uint64_t kPageFileMagic = 0x50534a5047463031ULL;  // "PSJPGF01"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+PageId PageFile::AllocatePage() {
+  const uint32_t page_no = num_pages();
+  pages_.push_back(std::make_unique<PageData>());
+  pages_.back()->fill(std::byte{0});
+  return PageId{file_id_, page_no};
+}
+
+const PageData& PageFile::ReadPage(uint32_t page_no) const {
+  PSJ_CHECK_LT(page_no, num_pages());
+  return *pages_[page_no];
+}
+
+void PageFile::WritePage(uint32_t page_no, const PageData& data) {
+  PSJ_CHECK_LT(page_no, num_pages());
+  *pages_[page_no] = data;
+}
+
+Status PageFile::SaveToFile(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  const uint64_t magic = kPageFileMagic;
+  const uint32_t count = num_pages();
+  if (std::fwrite(&magic, sizeof(magic), 1, f.get()) != 1 ||
+      std::fwrite(&file_id_, sizeof(file_id_), 1, f.get()) != 1 ||
+      std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+    return Status::Internal("write failure: " + path);
+  }
+  for (const auto& page : pages_) {
+    if (std::fwrite(page->data(), kPageSize, 1, f.get()) != 1) {
+      return Status::Internal("write failure: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<PageFile> PageFile::LoadFromFile(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  uint64_t magic = 0;
+  uint32_t file_id = 0;
+  uint32_t count = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 ||
+      magic != kPageFileMagic) {
+    return Status::Corruption("bad page file magic: " + path);
+  }
+  if (std::fread(&file_id, sizeof(file_id), 1, f.get()) != 1 ||
+      std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+    return Status::Corruption("truncated page file header: " + path);
+  }
+  PageFile file(file_id);
+  PageData buffer;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (std::fread(buffer.data(), kPageSize, 1, f.get()) != 1) {
+      return Status::Corruption("truncated page file: " + path);
+    }
+    file.AllocatePage();
+    file.WritePage(i, buffer);
+  }
+  return file;
+}
+
+}  // namespace psj

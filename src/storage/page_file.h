@@ -1,0 +1,55 @@
+#ifndef PSJ_STORAGE_PAGE_FILE_H_
+#define PSJ_STORAGE_PAGE_FILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/statusor.h"
+
+namespace psj {
+
+/// \brief An append-only array of 4 KB page images — the on-"disk"
+/// representation of one R*-tree.
+///
+/// The simulated disk array charges virtual I/O time for page reads; the
+/// bytes themselves live in host memory. Trees are packed into genuine page
+/// images (paper entry sizes) so that fanouts and page counts match Table 1
+/// structurally.
+class PageFile {
+ public:
+  explicit PageFile(uint32_t file_id) : file_id_(file_id) {}
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+  PageFile(PageFile&&) = default;
+  PageFile& operator=(PageFile&&) = default;
+
+  uint32_t file_id() const { return file_id_; }
+  uint32_t num_pages() const { return static_cast<uint32_t>(pages_.size()); }
+
+  /// Appends a zeroed page and returns its id.
+  PageId AllocatePage();
+
+  /// Returns the page image; page_no must be in range.
+  const PageData& ReadPage(uint32_t page_no) const;
+
+  /// Overwrites the page image; page_no must be in range.
+  void WritePage(uint32_t page_no, const PageData& data);
+
+  /// Persists all pages to a host file (used to cache built trees between
+  /// benchmark runs).
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads a page file previously written by SaveToFile.
+  static StatusOr<PageFile> LoadFromFile(const std::string& path);
+
+ private:
+  uint32_t file_id_;
+  std::vector<std::unique_ptr<PageData>> pages_;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,72 @@
+#ifndef PSJ_UTIL_CHECK_H_
+#define PSJ_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace psj {
+namespace internal_check {
+
+/// Accumulates the streamed failure message and aborts the process when
+/// destroyed. Used by the PSJ_CHECK family; invariant violations are
+/// programming errors, so they terminate rather than propagate.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "PSJ_CHECK failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message when the check passes; compiles away.
+class CheckVoidify {
+ public:
+  void operator&&(const CheckFailure&) const {}
+};
+
+}  // namespace internal_check
+}  // namespace psj
+
+/// Aborts with a message when `condition` is false. Always enabled (release
+/// builds included): these guard data-structure invariants whose violation
+/// would silently corrupt experiment results.
+#define PSJ_CHECK(condition)                                        \
+  (condition) ? (void)0                                             \
+              : ::psj::internal_check::CheckVoidify() &&            \
+                    ::psj::internal_check::CheckFailure(            \
+                        __FILE__, __LINE__, #condition)
+
+#define PSJ_CHECK_EQ(a, b) PSJ_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define PSJ_CHECK_NE(a, b) PSJ_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define PSJ_CHECK_LT(a, b) PSJ_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define PSJ_CHECK_LE(a, b) PSJ_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define PSJ_CHECK_GT(a, b) PSJ_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define PSJ_CHECK_GE(a, b) PSJ_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+/// Checks that a Status-returning expression is OK.
+#define PSJ_CHECK_OK(expr)                                   \
+  do {                                                       \
+    const ::psj::Status psj_check_ok_status_ = (expr);       \
+    PSJ_CHECK(psj_check_ok_status_.ok())                     \
+        << psj_check_ok_status_.ToString();                  \
+  } while (false)
+
+#endif  // PSJ_UTIL_CHECK_H_

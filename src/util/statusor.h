@@ -1,0 +1,77 @@
+#ifndef PSJ_UTIL_STATUSOR_H_
+#define PSJ_UTIL_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace psj {
+
+/// \brief Holds either a value of type `T` or a non-OK `Status`.
+///
+/// The usual database-engine alternative to exceptions for fallible
+/// constructors and lookups. Accessing `value()` on an error result aborts
+/// via `PSJ_CHECK`, so callers must test `ok()` first on fallible paths.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    PSJ_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  /// Constructs from a value; the result is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PSJ_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PSJ_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PSJ_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr); on error returns the status, otherwise
+/// moves the value into `lhs`.
+#define PSJ_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  PSJ_ASSIGN_OR_RETURN_IMPL_(                     \
+      PSJ_STATUS_MACRO_CONCAT_(psj_sor_, __LINE__), lhs, rexpr)
+
+#define PSJ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+#define PSJ_STATUS_MACRO_CONCAT_(x, y) PSJ_STATUS_MACRO_CONCAT_IMPL_(x, y)
+#define PSJ_STATUS_MACRO_CONCAT_IMPL_(x, y) x##y
+
+}  // namespace psj
+
+#endif  // PSJ_UTIL_STATUSOR_H_

@@ -1,0 +1,68 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace psj {
+
+std::string StringPrintf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  PSJ_CHECK_GE(needed, 0);
+  std::string result(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+std::vector<std::string> SplitString(std::string_view input, char delimiter) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == delimiter) {
+      fields.emplace_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      result += separator;
+    }
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string FormatWithCommas(int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string result;
+  const size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) {
+      result += ',';
+    }
+    result += digits[i];
+  }
+  return negative ? "-" + result : result;
+}
+
+std::string FormatMicrosAsSeconds(int64_t micros, int decimals) {
+  PSJ_CHECK_GE(decimals, 0);
+  return StringPrintf("%.*f", decimals,
+                      static_cast<double>(micros) / 1'000'000.0);
+}
+
+}  // namespace psj

@@ -1,0 +1,32 @@
+#ifndef PSJ_UTIL_STRING_UTIL_H_
+#define PSJ_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psj {
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `input` on `delimiter`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view input, char delimiter);
+
+/// Joins the elements of `parts` with `separator`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view separator);
+
+/// Formats a quantity with thousands separators ("1,234,567") for
+/// human-readable experiment tables.
+std::string FormatWithCommas(int64_t value);
+
+/// Formats microseconds of virtual time as seconds with the given number of
+/// decimals (e.g. 62800000 -> "62.8").
+std::string FormatMicrosAsSeconds(int64_t micros, int decimals = 1);
+
+}  // namespace psj
+
+#endif  // PSJ_UTIL_STRING_UTIL_H_

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "sim/simulation.h"
+#include "storage/disk_array.h"
+#include "util/rng.h"
+
+namespace psj {
+namespace {
+
+PageId P(uint32_t n) { return PageId{0, n}; }
+
+// Runs `body` as the single simulated processor 0 and returns nothing;
+// helper for single-CPU buffer scenarios.
+void RunOneProcessor(const std::function<void(sim::Process&)>& body) {
+  sim::Scheduler sched;
+  sched.Spawn(body);
+  sched.Run();
+}
+
+TEST(SplitBufferCapacityTest, EvenAndRemainder) {
+  EXPECT_EQ(SplitBufferCapacity(800, 8),
+            std::vector<size_t>(8, 100));
+  const auto split = SplitBufferCapacity(10, 3);
+  EXPECT_EQ(split, (std::vector<size_t>{4, 3, 3}));
+  EXPECT_EQ(SplitBufferCapacity(2, 4), (std::vector<size_t>{1, 1, 0, 0}));
+}
+
+TEST(LocalBufferPoolTest, MissThenHit) {
+  DiskArrayModel disks(1, DiskParameters());
+  LocalBufferPool pool(1, 10, &disks, BufferCosts());
+  RunOneProcessor([&](sim::Process& p) {
+    EXPECT_EQ(pool.FetchPage(p, P(1), false), PageSource::kDiskRead);
+    EXPECT_EQ(p.now(), 16'000);
+    EXPECT_EQ(pool.FetchPage(p, P(1), false), PageSource::kLocalBufferHit);
+    EXPECT_EQ(p.now(), 16'000 + BufferCosts().local_hit);
+  });
+  EXPECT_EQ(pool.stats(0).disk_reads, 1);
+  EXPECT_EQ(pool.stats(0).local_hits, 1);
+  EXPECT_EQ(pool.stats(0).remote_hits, 0);
+}
+
+TEST(LocalBufferPoolTest, ProcessorsDoNotShareBuffers) {
+  DiskArrayModel disks(2, DiskParameters());
+  LocalBufferPool pool(2, 20, &disks, BufferCosts());
+  sim::Scheduler sched;
+  sched.Spawn([&](sim::Process& p) {
+    EXPECT_EQ(pool.FetchPage(p, P(1), false), PageSource::kDiskRead);
+  });
+  sched.Spawn([&](sim::Process& p) {
+    p.WaitUntil(100'000);  // Well after processor 0 buffered the page.
+    EXPECT_EQ(pool.FetchPage(p, P(1), false), PageSource::kDiskRead);
+  });
+  sched.Run();
+  // The same page was read from disk twice — the §3.1 problem.
+  EXPECT_EQ(disks.total_accesses(), 2);
+}
+
+TEST(LocalBufferPoolTest, EvictionBoundsResidency) {
+  DiskArrayModel disks(1, DiskParameters());
+  LocalBufferPool pool(1, 2, &disks, BufferCosts());
+  RunOneProcessor([&](sim::Process& p) {
+    pool.FetchPage(p, P(1), false);
+    pool.FetchPage(p, P(2), false);
+    pool.FetchPage(p, P(3), false);           // Evicts 1.
+    EXPECT_EQ(pool.FetchPage(p, P(1), false), PageSource::kDiskRead);
+  });
+  EXPECT_EQ(pool.stats(0).disk_reads, 4);
+}
+
+TEST(LocalBufferPoolTest, DataPageStatsTracked) {
+  DiskArrayModel disks(1, DiskParameters());
+  LocalBufferPool pool(1, 4, &disks, BufferCosts());
+  RunOneProcessor([&](sim::Process& p) {
+    pool.FetchPage(p, P(1), true);
+    pool.FetchPage(p, P(2), false);
+  });
+  EXPECT_EQ(pool.stats(0).disk_reads, 2);
+  EXPECT_EQ(pool.stats(0).disk_reads_data_pages, 1);
+}
+
+TEST(GlobalBufferPoolTest, RemoteHitInsteadOfSecondDiskRead) {
+  DiskArrayModel disks(2, DiskParameters());
+  GlobalBufferPool pool(2, 20, &disks, BufferCosts());
+  sim::Scheduler sched;
+  sched.Spawn([&](sim::Process& p) {
+    EXPECT_EQ(pool.FetchPage(p, P(1), false), PageSource::kDiskRead);
+  });
+  sched.Spawn([&](sim::Process& p) {
+    p.WaitUntil(100'000);
+    EXPECT_EQ(pool.FetchPage(p, P(1), false), PageSource::kRemoteBufferHit);
+  });
+  sched.Run();
+  EXPECT_EQ(disks.total_accesses(), 1);  // The §3.2 advantage.
+  EXPECT_EQ(pool.stats(1).remote_hits, 1);
+  EXPECT_EQ(pool.OwnerOf(P(1)), 0);  // Still owned by the first reader.
+}
+
+TEST(GlobalBufferPoolTest, PageresidesAtMostOnceAcrossUnion) {
+  DiskArrayModel disks(2, DiskParameters());
+  GlobalBufferPool pool(2, 20, &disks, BufferCosts());
+  sim::Scheduler sched;
+  for (int cpu = 0; cpu < 2; ++cpu) {
+    sched.Spawn([&](sim::Process& p) {
+      for (uint32_t n = 1; n <= 5; ++n) {
+        pool.FetchPage(p, P(n), false);
+      }
+    });
+  }
+  sched.Run();
+  // Each page resident exactly once; residency split across partitions.
+  int resident = 0;
+  for (uint32_t n = 1; n <= 5; ++n) {
+    const int owner = pool.OwnerOf(P(n));
+    ASSERT_GE(owner, 0);
+    EXPECT_EQ(pool.buffer(owner).Contains(P(n)), true);
+    EXPECT_FALSE(pool.buffer(1 - owner).Contains(P(n)));
+    ++resident;
+  }
+  EXPECT_EQ(resident, 5);
+}
+
+TEST(GlobalBufferPoolTest, EvictionKeepsDirectoryConsistent) {
+  DiskArrayModel disks(1, DiskParameters());
+  GlobalBufferPool pool(1, 2, &disks, BufferCosts());
+  RunOneProcessor([&](sim::Process& p) {
+    pool.FetchPage(p, P(1), false);
+    pool.FetchPage(p, P(2), false);
+    pool.FetchPage(p, P(3), false);  // Evicts 1 from the union.
+  });
+  EXPECT_EQ(pool.OwnerOf(P(1)), -1);
+  EXPECT_EQ(pool.OwnerOf(P(2)), 0);
+  EXPECT_EQ(pool.OwnerOf(P(3)), 0);
+}
+
+TEST(GlobalBufferPoolTest, RemoteHitIsSlowerThanLocal) {
+  const BufferCosts costs;
+  DiskArrayModel disks(2, DiskParameters());
+  GlobalBufferPool pool(2, 20, &disks, costs);
+  sim::SimTime local_time = 0;
+  sim::SimTime remote_time = 0;
+  sim::Scheduler sched;
+  sched.Spawn([&](sim::Process& p) {
+    pool.FetchPage(p, P(1), false);
+    const sim::SimTime t0 = p.now();
+    pool.FetchPage(p, P(1), false);
+    local_time = p.now() - t0;
+  });
+  sched.Spawn([&](sim::Process& p) {
+    p.WaitUntil(200'000);
+    const sim::SimTime t0 = p.now();
+    pool.FetchPage(p, P(1), false);
+    remote_time = p.now() - t0;
+  });
+  sched.Run();
+  // Table 2 / §3.2: roughly a factor of 10 between local and remote.
+  EXPECT_GT(remote_time, local_time);
+  EXPECT_NEAR(static_cast<double>(remote_time - costs.directory_access) /
+                  static_cast<double>(local_time - costs.directory_access),
+              10.0, 0.5);
+}
+
+TEST(SharedNothingBufferPoolTest, OwnerIsDiskProcessor) {
+  DiskArrayModel disks(4, DiskParameters());
+  SharedNothingBufferPool pool(4, 40, &disks, BufferCosts());
+  for (uint32_t n = 0; n < 16; ++n) {
+    const PageId page{0, n};
+    EXPECT_EQ(pool.OwnerOf(page), disks.DiskOf(page) % 4);
+  }
+}
+
+TEST(SharedNothingBufferPoolTest, OwnerLocalPathBehavesLikeLocalBuffer) {
+  DiskArrayModel disks(2, DiskParameters());
+  SharedNothingBufferPool pool(2, 20, &disks, BufferCosts());
+  // Page {0, 2} -> disk 0 -> owner 0.
+  RunOneProcessor([&](sim::Process& p) {
+    EXPECT_EQ(pool.FetchPage(p, P(2), false), PageSource::kDiskRead);
+    EXPECT_EQ(pool.FetchPage(p, P(2), false), PageSource::kLocalBufferHit);
+  });
+  EXPECT_EQ(pool.stats(0).disk_reads, 1);
+  EXPECT_EQ(pool.stats(0).local_hits, 1);
+}
+
+TEST(SharedNothingBufferPoolTest, ForeignPageBuffersAtOwnerOnly) {
+  const BufferCosts costs;
+  DiskArrayModel disks(2, DiskParameters());
+  SharedNothingBufferPool pool(2, 20, &disks, costs);
+  // Page {0, 1} -> disk 1 -> owner 1; processor 0 requests it twice.
+  sim::SimTime first = 0;
+  sim::SimTime second = 0;
+  RunOneProcessor([&](sim::Process& p) {
+    const sim::SimTime t0 = p.now();
+    EXPECT_EQ(pool.FetchPage(p, P(1), false), PageSource::kDiskRead);
+    first = p.now() - t0;
+    const sim::SimTime t1 = p.now();
+    EXPECT_EQ(pool.FetchPage(p, P(1), false), PageSource::kRemoteBufferHit);
+    second = p.now() - t1;
+  });
+  // The page resides at the owner, not the requester.
+  EXPECT_TRUE(pool.buffer(1).Contains(P(1)));
+  EXPECT_FALSE(pool.buffer(0).Contains(P(1)));
+  // First access paid rpc + disk + transfer; second only rpc + transfer.
+  EXPECT_EQ(first,
+            costs.rpc_request + 16'000 + costs.remote_hit);
+  EXPECT_EQ(second, costs.rpc_request + costs.remote_hit);
+}
+
+TEST(SharedNothingBufferPoolTest, SecondRequesterHitsOwnersBuffer) {
+  DiskArrayModel disks(2, DiskParameters());
+  SharedNothingBufferPool pool(2, 20, &disks, BufferCosts());
+  sim::Scheduler sched;
+  // Owner (processor 1) reads its own page; processor 0 then requests it.
+  sched.Spawn([&](sim::Process& p) {
+    p.WaitUntil(100'000);
+    EXPECT_EQ(pool.FetchPage(p, P(1), false),
+              PageSource::kRemoteBufferHit);
+  });
+  sched.Spawn([&](sim::Process& p) {
+    EXPECT_EQ(pool.FetchPage(p, P(1), false), PageSource::kDiskRead);
+  });
+  sched.Run();
+  EXPECT_EQ(disks.total_accesses(), 1);
+}
+
+TEST(GlobalBufferPoolTest, ZeroCapacityProcessorStillWorks) {
+  // With 2 total pages over 4 processors, two processors get no buffer.
+  DiskArrayModel disks(1, DiskParameters());
+  GlobalBufferPool pool(4, 2, &disks, BufferCosts());
+  sim::Scheduler sched;
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    sched.Spawn([&](sim::Process& p) {
+      pool.FetchPage(p, P(static_cast<uint32_t>(p.id())), false);
+      pool.FetchPage(p, P(static_cast<uint32_t>(p.id())), false);
+    });
+  }
+  sched.Run();
+  // No crash; pages fetched by bufferless processors are never resident.
+  EXPECT_GE(disks.total_accesses(), 4);
+}
+
+// Property fuzz: under a random multi-processor access pattern the global
+// buffer must always keep exactly one copy of each resident page, agree
+// with its directory, and never exceed its capacity.
+class GlobalBufferFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GlobalBufferFuzzTest, UnionInvariantsHoldThroughout) {
+  const int kProcessors = 4;
+  DiskArrayModel disks(2, DiskParameters());
+  GlobalBufferPool pool(kProcessors, 12, &disks, BufferCosts());
+  sim::Scheduler sched;
+  for (int cpu = 0; cpu < kProcessors; ++cpu) {
+    sched.Spawn([&, cpu](sim::Process& p) {
+      Rng rng(GetParam() + static_cast<uint64_t>(cpu) * 977);
+      for (int step = 0; step < 120; ++step) {
+        const PageId page{static_cast<uint32_t>(rng.NextBelow(2)),
+                          static_cast<uint32_t>(rng.NextBelow(30))};
+        pool.FetchPage(p, page, rng.NextBool(0.3));
+        // Invariant: a page the directory maps to an owner is resident in
+        // exactly that owner's partition and nowhere else.
+        const int owner = pool.OwnerOf(page);
+        if (owner >= 0) {
+          int resident_count = 0;
+          for (int q = 0; q < kProcessors; ++q) {
+            if (pool.buffer(q).Contains(page)) {
+              ++resident_count;
+              ASSERT_EQ(q, owner);
+            }
+          }
+          ASSERT_EQ(resident_count, 1);
+        }
+        p.Advance(rng.NextBelow(5'000));
+      }
+    });
+  }
+  sched.Run();
+  // Post-condition: every resident page is in the directory and capacities
+  // hold.
+  size_t resident_total = 0;
+  for (int q = 0; q < kProcessors; ++q) {
+    ASSERT_LE(pool.buffer(q).size(), pool.buffer(q).capacity());
+    resident_total += pool.buffer(q).size();
+  }
+  ASSERT_LE(resident_total, 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobalBufferFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace psj

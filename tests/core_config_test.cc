@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/join_config.h"
+#include "core/join_stats.h"
+
+namespace psj {
+namespace {
+
+TEST(CostModelTest, PaperDefaults) {
+  const CostModel costs;
+  EXPECT_EQ(costs.disk.DirectoryPageCost(), 16'000);
+  EXPECT_EQ(costs.disk.DataPageWithClusterCost(), 37'500);
+  EXPECT_EQ(costs.refine_min, 2'000);
+  EXPECT_EQ(costs.refine_max, 18'000);
+  // §3.2: own buffer about a factor of 10 faster than a remote buffer.
+  EXPECT_NEAR(static_cast<double>(costs.buffer.remote_hit) /
+                  static_cast<double>(costs.buffer.local_hit),
+              10.0, 0.01);
+}
+
+TEST(CostModelTest, RefinementCostTracksOverlap) {
+  const CostModel costs;
+  // Disjoint MBRs never reach refinement, but the formula floors at min.
+  EXPECT_EQ(costs.RefinementCost(Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)),
+            costs.refine_min);
+  // Full containment costs the maximum.
+  EXPECT_EQ(costs.RefinementCost(Rect(0, 0, 10, 10), Rect(1, 1, 2, 2)),
+            costs.refine_max);
+  // Partial overlap lies strictly between.
+  const auto mid = costs.RefinementCost(Rect(0, 0, 2, 2), Rect(1, 1, 4, 4));
+  EXPECT_GT(mid, costs.refine_min);
+  EXPECT_LT(mid, costs.refine_max);
+}
+
+TEST(CostModelTest, DescribeMentionsKeyNumbers) {
+  const std::string text = CostModel().Describe();
+  EXPECT_NE(text.find("37500"), std::string::npos);
+  EXPECT_NE(text.find("16000"), std::string::npos);
+}
+
+TEST(JoinConfigTest, NamedVariantsMatchPaper) {
+  const auto lsr = ParallelJoinConfig::Lsr();
+  EXPECT_EQ(lsr.buffer_type, BufferType::kLocal);
+  EXPECT_EQ(lsr.assignment, TaskAssignment::kStaticRange);
+  const auto gsrr = ParallelJoinConfig::Gsrr();
+  EXPECT_EQ(gsrr.buffer_type, BufferType::kGlobal);
+  EXPECT_EQ(gsrr.assignment, TaskAssignment::kStaticRoundRobin);
+  const auto gd = ParallelJoinConfig::Gd();
+  EXPECT_EQ(gd.buffer_type, BufferType::kGlobal);
+  EXPECT_EQ(gd.assignment, TaskAssignment::kDynamic);
+}
+
+TEST(JoinConfigTest, ValidationCatchesBadValues) {
+  ParallelJoinConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_processors = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ParallelJoinConfig();
+  config.num_disks = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ParallelJoinConfig();
+  config.task_creation_factor = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ParallelJoinConfig();
+  config.costs.refine_max = config.costs.refine_min - 1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(JoinConfigTest, DescribeIsInformative) {
+  ParallelJoinConfig config = ParallelJoinConfig::Lsr();
+  config.num_processors = 12;
+  const std::string text = config.Describe();
+  EXPECT_NE(text.find("local"), std::string::npos);
+  EXPECT_NE(text.find("static-range"), std::string::npos);
+  EXPECT_NE(text.find("n=12"), std::string::npos);
+}
+
+TEST(EnumToStringTest, AllValuesNamed) {
+  EXPECT_EQ(ToString(BufferType::kLocal), "local");
+  EXPECT_EQ(ToString(BufferType::kGlobal), "global");
+  EXPECT_EQ(ToString(TaskAssignment::kStaticRange), "static-range");
+  EXPECT_EQ(ToString(TaskAssignment::kStaticRoundRobin),
+            "static-round-robin");
+  EXPECT_EQ(ToString(TaskAssignment::kDynamic), "dynamic");
+  EXPECT_EQ(ToString(ReassignmentLevel::kNone), "none");
+  EXPECT_EQ(ToString(ReassignmentLevel::kRootLevel), "root");
+  EXPECT_EQ(ToString(ReassignmentLevel::kAllLevels), "all");
+  EXPECT_EQ(ToString(VictimPolicy::kMostLoaded), "most-loaded");
+  EXPECT_EQ(ToString(VictimPolicy::kArbitrary), "arbitrary");
+}
+
+TEST(JoinStatsTest, FinalizeAggregatesPerProcessor) {
+  JoinStats stats;
+  stats.per_processor.resize(3);
+  stats.per_processor[0].last_work_time = 100;
+  stats.per_processor[0].busy_time = 90;
+  stats.per_processor[0].candidates = 5;
+  stats.per_processor[1].last_work_time = 300;
+  stats.per_processor[1].busy_time = 250;
+  stats.per_processor[1].candidates = 7;
+  stats.per_processor[1].buffer.remote_hits = 4;
+  stats.per_processor[2].last_work_time = 200;
+  stats.per_processor[2].busy_time = 180;
+  stats.per_processor[2].path_buffer_hits = 3;
+  stats.Finalize(/*disk_accesses=*/42, /*disk_wait=*/17);
+
+  EXPECT_EQ(stats.response_time, 300);
+  EXPECT_EQ(stats.first_finish, 100);
+  EXPECT_EQ(stats.avg_finish, 200);
+  EXPECT_EQ(stats.total_task_time, 520);
+  EXPECT_EQ(stats.total_candidates, 12);
+  EXPECT_EQ(stats.total_remote_hits, 4);
+  EXPECT_EQ(stats.total_path_buffer_hits, 3);
+  EXPECT_EQ(stats.total_disk_accesses, 42);
+  EXPECT_EQ(stats.total_disk_wait, 17);
+}
+
+TEST(JoinStatsTest, AvgRefinementTime) {
+  JoinStats stats;
+  stats.per_processor.resize(2);
+  stats.per_processor[0].candidates = 6;
+  stats.per_processor[0].refinement_time = 50'000;
+  stats.per_processor[1].candidates = 4;
+  stats.per_processor[1].second_filter_eliminated = 2;
+  stats.per_processor[1].refinement_time = 30'000;
+  stats.Finalize(0, 0);
+  // 8 tests performed (10 candidates - 2 eliminated), 80 ms total.
+  EXPECT_EQ(stats.AvgRefinementTime(), 10'000);
+
+  JoinStats empty;
+  empty.per_processor.resize(1);
+  empty.Finalize(0, 0);
+  EXPECT_EQ(empty.AvgRefinementTime(), 0);
+}
+
+TEST(JoinStatsTest, SummaryMentionsKeyFigures) {
+  JoinStats stats;
+  stats.per_processor.resize(1);
+  stats.per_processor[0].last_work_time = 62'800'000;
+  stats.per_processor[0].candidates = 1'234;
+  stats.Finalize(0, 0);
+  const std::string text = stats.Summary();
+  EXPECT_NE(text.find("62.8"), std::string::npos);
+  EXPECT_NE(text.find("1,234"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psj

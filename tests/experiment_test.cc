@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.h"
+#include "rtree/validator.h"
+
+namespace psj {
+namespace {
+
+PaperWorkloadSpec TinySpec() {
+  PaperWorkloadSpec spec;
+  return spec.Scaled(0.02);  // ~2.6k + 2.5k objects: fast.
+}
+
+TEST(PaperWorkloadSpecTest, ScalingAdjustsCounts) {
+  const PaperWorkloadSpec base;
+  const PaperWorkloadSpec half = base.Scaled(0.5);
+  EXPECT_EQ(half.streets.num_objects, 65'722);
+  EXPECT_EQ(half.mixed.num_objects, 63'656);
+  EXPECT_EQ(half.num_centers, 140);
+  // Per-object geometry is unchanged.
+  EXPECT_EQ(half.streets.segment_length, base.streets.segment_length);
+  const PaperWorkloadSpec tiny = base.Scaled(1e-9);
+  EXPECT_GE(tiny.streets.num_objects, 1);
+  EXPECT_GE(tiny.num_centers, 10);
+}
+
+TEST(PaperWorkloadTest, BuildsValidTrees) {
+  const PaperWorkload workload(TinySpec());
+  EXPECT_TRUE(ValidateRTree(workload.tree_r()).ok());
+  EXPECT_TRUE(ValidateRTree(workload.tree_s()).ok());
+  EXPECT_EQ(workload.tree_r().num_data_entries(),
+            static_cast<int64_t>(workload.store_r().size()));
+  EXPECT_GT(workload.CountRootTaskPairs(), 0);
+}
+
+TEST(PaperWorkloadTest, DescribeMatchesTable1Format) {
+  const PaperWorkload workload(TinySpec());
+  const std::string text = workload.DescribeTrees();
+  EXPECT_NE(text.find("height"), std::string::npos);
+  EXPECT_NE(text.find("number of data pages"), std::string::npos);
+  EXPECT_NE(text.find("m (number of tasks)"), std::string::npos);
+}
+
+TEST(PaperWorkloadTest, RunJoinProducesResults) {
+  const PaperWorkload workload(TinySpec());
+  ParallelJoinConfig config = ParallelJoinConfig::Gd();
+  config.num_processors = 4;
+  config.num_disks = 4;
+  config.total_buffer_pages = 200;
+  auto result = workload.RunJoin(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->stats.total_candidates, 0);
+  EXPECT_GT(result->stats.response_time, 0);
+}
+
+TEST(PaperWorkloadTest, CacheRoundTripGivesIdenticalExperiments) {
+  const std::string cache_dir = ::testing::TempDir();
+  const PaperWorkloadSpec spec = TinySpec();
+
+  auto first = PaperWorkload::LoadOrBuildCached(spec, cache_dir);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = PaperWorkload::LoadOrBuildCached(spec, cache_dir);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  // The cached copy must reproduce the tree structure and join results
+  // exactly.
+  EXPECT_EQ((*first)->tree_r().num_pages(), (*second)->tree_r().num_pages());
+  EXPECT_EQ((*first)->tree_r().root_page(), (*second)->tree_r().root_page());
+  EXPECT_EQ((*first)->CountRootTaskPairs(),
+            (*second)->CountRootTaskPairs());
+  EXPECT_TRUE(ValidateRTree((*second)->tree_r()).ok());
+  EXPECT_TRUE(ValidateRTree((*second)->tree_s()).ok());
+
+  ParallelJoinConfig config = ParallelJoinConfig::Gd();
+  config.num_processors = 3;
+  config.num_disks = 3;
+  config.total_buffer_pages = 120;
+  auto result_a = (*first)->RunJoin(config);
+  auto result_b = (*second)->RunJoin(config);
+  ASSERT_TRUE(result_a.ok());
+  ASSERT_TRUE(result_b.ok());
+  EXPECT_EQ(result_a->stats.response_time, result_b->stats.response_time);
+  EXPECT_EQ(result_a->stats.total_candidates,
+            result_b->stats.total_candidates);
+  EXPECT_EQ(result_a->stats.total_answers, result_b->stats.total_answers);
+}
+
+}  // namespace
+}  // namespace psj

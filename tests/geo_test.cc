@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "geo/polyline.h"
+#include "geo/rect.h"
+
+namespace psj {
+namespace {
+
+TEST(RectTest, BasicProperties) {
+  const Rect r(1.0, 2.0, 4.0, 6.0);
+  EXPECT_TRUE(r.IsValid());
+  EXPECT_DOUBLE_EQ(r.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 7.0);
+  EXPECT_EQ(r.Center().x, 2.5);
+  EXPECT_EQ(r.Center().y, 4.0);
+}
+
+TEST(RectTest, DegenerateRectsAreValid) {
+  EXPECT_TRUE(Rect(1, 1, 1, 1).IsValid());   // Point.
+  EXPECT_TRUE(Rect(1, 1, 5, 1).IsValid());   // Horizontal segment.
+  EXPECT_FALSE(Rect(2, 1, 1, 1).IsValid());  // Inverted.
+}
+
+TEST(RectTest, IntersectsIsClosedOnBoundaries) {
+  const Rect a(0, 0, 1, 1);
+  EXPECT_TRUE(a.Intersects(Rect(1, 1, 2, 2)));  // Shared corner.
+  EXPECT_TRUE(a.Intersects(Rect(1, 0, 2, 1)));  // Shared edge.
+  EXPECT_FALSE(a.Intersects(Rect(1.0001, 0, 2, 1)));
+  EXPECT_TRUE(a.Intersects(a));
+}
+
+TEST(RectTest, ContainsIncludesBoundary) {
+  const Rect a(0, 0, 10, 10);
+  EXPECT_TRUE(a.Contains(Rect(0, 0, 10, 10)));
+  EXPECT_TRUE(a.Contains(Rect(2, 2, 3, 3)));
+  EXPECT_FALSE(a.Contains(Rect(2, 2, 11, 3)));
+  EXPECT_TRUE(a.ContainsPoint(Point{0, 10}));
+  EXPECT_FALSE(a.ContainsPoint(Point{-0.1, 5}));
+}
+
+TEST(RectTest, IntersectionAndUnion) {
+  const Rect a(0, 0, 4, 4);
+  const Rect b(2, 1, 6, 3);
+  const Rect i = a.Intersection(b);
+  EXPECT_EQ(i, Rect(2, 1, 4, 3));
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(b), 4.0);
+  EXPECT_EQ(a.UnionWith(b), Rect(0, 0, 6, 4));
+
+  const Rect c(5, 5, 6, 6);
+  EXPECT_FALSE(a.Intersection(c).IsValid());
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(c), 0.0);
+}
+
+TEST(RectTest, EnlargementIsUnionMinusArea) {
+  const Rect a(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect(1, 1, 3, 3)), 9.0 - 4.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect(0.5, 0.5, 1, 1)), 0.0);
+}
+
+TEST(RectTest, EmptyActsAsIdentityForExpand) {
+  Rect e = Rect::Empty();
+  EXPECT_FALSE(e.IsValid());
+  e.ExpandToInclude(Rect(1, 2, 3, 4));
+  EXPECT_EQ(e, Rect(1, 2, 3, 4));
+}
+
+TEST(OverlapDegreeTest, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(OverlapDegree(Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)), 0.0);
+}
+
+TEST(OverlapDegreeTest, ContainmentIsOne) {
+  EXPECT_DOUBLE_EQ(OverlapDegree(Rect(0, 0, 10, 10), Rect(1, 1, 2, 2)), 1.0);
+}
+
+TEST(OverlapDegreeTest, PartialOverlapIsProportional) {
+  // Overlap area 1, smaller rect area 4 -> 0.25.
+  EXPECT_DOUBLE_EQ(OverlapDegree(Rect(0, 0, 2, 2), Rect(1, 1, 4, 4)), 0.25);
+}
+
+TEST(OverlapDegreeTest, DegenerateRectsUseExtents) {
+  // A vertical segment crossing the middle of a box: x-extent of the
+  // segment is a point inside the box (degree 1), y overlap is half of the
+  // shorter y-extent.
+  const Rect segment(1, 0, 1, 2);
+  const Rect box(0, 1, 2, 3);
+  EXPECT_GT(OverlapDegree(segment, box), 0.0);
+  EXPECT_LE(OverlapDegree(segment, box), 1.0);
+  // Two identical points that touch.
+  EXPECT_DOUBLE_EQ(OverlapDegree(Rect(1, 1, 1, 1), Rect(1, 1, 1, 1)), 1.0);
+}
+
+TEST(OverlapDegreeTest, SymmetricAndBounded) {
+  const Rect a(0, 0, 3, 2);
+  const Rect b(1, 1, 5, 4);
+  EXPECT_DOUBLE_EQ(OverlapDegree(a, b), OverlapDegree(b, a));
+  EXPECT_GE(OverlapDegree(a, b), 0.0);
+  EXPECT_LE(OverlapDegree(a, b), 1.0);
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+}
+
+TEST(SegmentsIntersectTest, DisjointSegments) {
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 1}, {2, 2.0001}, {3, 3}));
+}
+
+TEST(SegmentsIntersectTest, TouchingEndpoint) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(SegmentsIntersectTest, TJunction) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, -1}, {1, 0}));
+}
+
+TEST(PolylineTest, MbrTracksPoints) {
+  Polyline line;
+  EXPECT_TRUE(line.empty());
+  line.AddPoint({1, 5});
+  line.AddPoint({3, 2});
+  EXPECT_EQ(line.Mbr(), Rect(1, 2, 3, 5));
+}
+
+TEST(PolylineTest, LengthSumsSegments) {
+  Polyline line({{0, 0}, {3, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(line.Length(), 7.0);
+}
+
+TEST(PolylineTest, IntersectsCrossingChains) {
+  Polyline a({{0, 0}, {2, 2}});
+  Polyline b({{0, 2}, {2, 0}});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+}
+
+TEST(PolylineTest, DisjointChains) {
+  Polyline a({{0, 0}, {1, 0}});
+  Polyline b({{0, 1}, {1, 1}});
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(PolylineTest, MbrOverlapButNoIntersection) {
+  // L-shaped chains whose MBRs overlap but segments never touch.
+  Polyline a({{0, 0}, {0, 3}, {3, 3}});
+  Polyline b({{1, 1}, {2, 1}, {2, 2}});
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(PolylineTest, SinglePointOnSegment) {
+  Polyline point({{1, 1}});
+  Polyline segment({{0, 0}, {2, 2}});
+  EXPECT_TRUE(point.Intersects(segment));
+  EXPECT_TRUE(segment.Intersects(point));
+  Polyline off({{5, 5}});
+  EXPECT_FALSE(off.Intersects(segment));
+}
+
+TEST(SegmentIntersectsRectTest, EndpointInside) {
+  EXPECT_TRUE(SegmentIntersectsRect({1, 1}, {5, 5}, Rect(0, 0, 2, 2)));
+}
+
+TEST(SegmentIntersectsRectTest, CrossesThrough) {
+  // Both endpoints outside, segment passes through the box.
+  EXPECT_TRUE(SegmentIntersectsRect({-1, 1}, {3, 1}, Rect(0, 0, 2, 2)));
+  // Diagonal pass through a corner region.
+  EXPECT_TRUE(SegmentIntersectsRect({-1, 1}, {1, 3}, Rect(0, 0, 2, 2)));
+}
+
+TEST(SegmentIntersectsRectTest, MissesBox) {
+  EXPECT_FALSE(SegmentIntersectsRect({-1, 3}, {3, 7}, Rect(0, 0, 2, 2)));
+  EXPECT_FALSE(SegmentIntersectsRect({5, 5}, {6, 6}, Rect(0, 0, 2, 2)));
+}
+
+TEST(SegmentIntersectsRectTest, TouchesEdge) {
+  EXPECT_TRUE(SegmentIntersectsRect({-1, 2}, {3, 2}, Rect(0, 0, 2, 2)));
+  EXPECT_TRUE(SegmentIntersectsRect({2, -1}, {2, 3}, Rect(0, 0, 2, 2)));
+}
+
+TEST(PolylineIntersectsRectTest, MbrOverlapButGeometryOutside) {
+  // L-shaped chain whose MBR contains the box but whose segments miss it.
+  Polyline line({{0, 0}, {0, 10}, {10, 10}});
+  EXPECT_FALSE(line.IntersectsRect(Rect(4, 4, 6, 6)));
+  EXPECT_TRUE(line.IntersectsRect(Rect(-1, 3, 1, 5)));
+}
+
+TEST(PolylineIntersectsRectTest, FullyInside) {
+  Polyline line({{1, 1}, {1.5, 1.5}});
+  EXPECT_TRUE(line.IntersectsRect(Rect(0, 0, 2, 2)));
+}
+
+TEST(PolylineIntersectsRectTest, SinglePoint) {
+  EXPECT_TRUE(Polyline({{1, 1}}).IntersectsRect(Rect(0, 0, 2, 2)));
+  EXPECT_FALSE(Polyline({{5, 5}}).IntersectsRect(Rect(0, 0, 2, 2)));
+  EXPECT_FALSE(Polyline().IntersectsRect(Rect(0, 0, 2, 2)));
+}
+
+TEST(PolylineTest, EmptyNeverIntersects) {
+  Polyline empty;
+  Polyline segment({{0, 0}, {1, 1}});
+  EXPECT_FALSE(empty.Intersects(segment));
+  EXPECT_FALSE(segment.Intersects(empty));
+  EXPECT_FALSE(empty.Intersects(empty));
+}
+
+}  // namespace
+}  // namespace psj

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "buffer/lru_buffer.h"
+
+namespace psj {
+namespace {
+
+PageId P(uint32_t n) { return PageId{0, n}; }
+
+TEST(LruBufferTest, InsertUntilCapacityNoEviction) {
+  LruBuffer buffer(3);
+  EXPECT_FALSE(buffer.InsertAndMaybeEvict(P(1)).has_value());
+  EXPECT_FALSE(buffer.InsertAndMaybeEvict(P(2)).has_value());
+  EXPECT_FALSE(buffer.InsertAndMaybeEvict(P(3)).has_value());
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_TRUE(buffer.Contains(P(1)));
+  EXPECT_TRUE(buffer.Contains(P(3)));
+}
+
+TEST(LruBufferTest, EvictsLeastRecentlyUsed) {
+  LruBuffer buffer(2);
+  buffer.InsertAndMaybeEvict(P(1));
+  buffer.InsertAndMaybeEvict(P(2));
+  const auto evicted = buffer.InsertAndMaybeEvict(P(3));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, P(1));
+  EXPECT_FALSE(buffer.Contains(P(1)));
+  EXPECT_TRUE(buffer.Contains(P(2)));
+  EXPECT_TRUE(buffer.Contains(P(3)));
+}
+
+TEST(LruBufferTest, TouchRefreshesRecency) {
+  LruBuffer buffer(2);
+  buffer.InsertAndMaybeEvict(P(1));
+  buffer.InsertAndMaybeEvict(P(2));
+  EXPECT_TRUE(buffer.Touch(P(1)));  // Now 2 is the LRU.
+  const auto evicted = buffer.InsertAndMaybeEvict(P(3));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, P(2));
+}
+
+TEST(LruBufferTest, TouchMissingReturnsFalse) {
+  LruBuffer buffer(2);
+  EXPECT_FALSE(buffer.Touch(P(9)));
+}
+
+TEST(LruBufferTest, ReinsertingResidentPageOnlyTouches) {
+  LruBuffer buffer(2);
+  buffer.InsertAndMaybeEvict(P(1));
+  buffer.InsertAndMaybeEvict(P(2));
+  EXPECT_FALSE(buffer.InsertAndMaybeEvict(P(1)).has_value());
+  EXPECT_EQ(buffer.size(), 2u);
+  // 2 became LRU after re-inserting 1.
+  EXPECT_EQ(buffer.LeastRecentlyUsed(), P(2));
+}
+
+TEST(LruBufferTest, EraseRemovesPage) {
+  LruBuffer buffer(2);
+  buffer.InsertAndMaybeEvict(P(1));
+  EXPECT_TRUE(buffer.Erase(P(1)));
+  EXPECT_FALSE(buffer.Erase(P(1)));
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_FALSE(buffer.LeastRecentlyUsed().has_value());
+}
+
+TEST(LruBufferTest, ZeroCapacityCachesNothing) {
+  LruBuffer buffer(0);
+  const auto evicted = buffer.InsertAndMaybeEvict(P(1));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, P(1));
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_FALSE(buffer.Contains(P(1)));
+}
+
+TEST(LruBufferTest, DistinguishesFileIds) {
+  LruBuffer buffer(4);
+  buffer.InsertAndMaybeEvict(PageId{1, 7});
+  EXPECT_FALSE(buffer.Contains(PageId{2, 7}));
+  EXPECT_TRUE(buffer.Contains(PageId{1, 7}));
+}
+
+TEST(LruBufferTest, LongAccessSequenceKeepsSizeBounded) {
+  LruBuffer buffer(16);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    buffer.InsertAndMaybeEvict(P(i % 40));
+    ASSERT_LE(buffer.size(), 16u);
+  }
+  // The 16 most recently used of the cycle must be resident.
+  EXPECT_TRUE(buffer.Contains(P(999 % 40)));
+}
+
+}  // namespace
+}  // namespace psj

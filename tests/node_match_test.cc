@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "join/node_match.h"
+#include "util/rng.h"
+
+namespace psj {
+namespace {
+
+using Pair = std::pair<uint32_t, uint32_t>;
+
+RTreeNode RandomNode(Rng& rng, int level, int entries, double extent,
+                     double offset = 0.0) {
+  RTreeNode node;
+  node.level = static_cast<int16_t>(level);
+  for (int i = 0; i < entries; ++i) {
+    const double x = offset + rng.NextDoubleInRange(0.0, 1.0);
+    const double y = rng.NextDoubleInRange(0.0, 1.0);
+    node.entries.push_back(
+        RTreeEntry{Rect(x, y, x + extent, y + extent),
+                   static_cast<uint64_t>(i)});
+  }
+  return node;
+}
+
+std::set<Pair> AsSet(const std::vector<Pair>& pairs) {
+  return std::set<Pair>(pairs.begin(), pairs.end());
+}
+
+TEST(NodeMatchTest, AllFourModeCombinationsAgree) {
+  Rng rng(1);
+  const RTreeNode a = RandomNode(rng, 0, 26, 0.1);
+  const RTreeNode b = RandomNode(rng, 0, 26, 0.1);
+  std::set<Pair> reference;
+  bool first = true;
+  for (bool restriction : {false, true}) {
+    for (bool sweep : {false, true}) {
+      NodeMatchOptions options;
+      options.use_search_space_restriction = restriction;
+      options.use_plane_sweep = sweep;
+      const auto pairs = AsSet(MatchNodeEntries(a, b, options));
+      if (first) {
+        reference = pairs;
+        first = false;
+      } else {
+        EXPECT_EQ(pairs, reference)
+            << "restriction=" << restriction << " sweep=" << sweep;
+      }
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(NodeMatchTest, DisjointNodesShortCircuitUnderRestriction) {
+  Rng rng(2);
+  const RTreeNode a = RandomNode(rng, 0, 20, 0.05, 0.0);
+  const RTreeNode b = RandomNode(rng, 0, 20, 0.05, 10.0);  // Far away.
+  NodeMatchCounts counts;
+  const auto pairs = MatchNodeEntries(a, b, NodeMatchOptions(), &counts);
+  EXPECT_TRUE(pairs.empty());
+  EXPECT_EQ(counts.entries_considered_r, 0u);
+  EXPECT_EQ(counts.entries_considered_s, 0u);
+}
+
+TEST(NodeMatchTest, RestrictionReducesConsideredEntries) {
+  Rng rng(3);
+  // Two nodes with a small overlap region on the right/left edges.
+  const RTreeNode a = RandomNode(rng, 1, 60, 0.02, 0.0);   // x in [0, 1].
+  const RTreeNode b = RandomNode(rng, 1, 60, 0.02, 0.9);   // x in [0.9, 1.9].
+  NodeMatchOptions with;
+  NodeMatchCounts counts_with;
+  MatchNodeEntries(a, b, with, &counts_with);
+  NodeMatchOptions without;
+  without.use_search_space_restriction = false;
+  NodeMatchCounts counts_without;
+  MatchNodeEntries(a, b, without, &counts_without);
+  EXPECT_LT(counts_with.entries_considered_r,
+            counts_without.entries_considered_r);
+  EXPECT_EQ(counts_without.entries_considered_r, 60u);
+}
+
+TEST(NodeMatchTest, EmptyNodesYieldNothing) {
+  RTreeNode a;
+  a.level = 0;
+  RTreeNode b;
+  b.level = 0;
+  EXPECT_TRUE(MatchNodeEntries(a, b).empty());
+}
+
+TEST(NodeMatchTest, SweepOutputIsInSweepOrder) {
+  Rng rng(4);
+  const RTreeNode a = RandomNode(rng, 0, 25, 0.2);
+  const RTreeNode b = RandomNode(rng, 0, 25, 0.2);
+  const auto pairs = MatchNodeEntries(a, b);
+  double last_anchor = -1e300;
+  for (const auto& [i, j] : pairs) {
+    // The sweep anchor of a pair is the rectangle with the smaller xl.
+    const double anchor =
+        std::min(a.entries[i].rect.xl, b.entries[j].rect.xl);
+    EXPECT_GE(anchor, last_anchor - 1e-12);
+    last_anchor = std::max(last_anchor, anchor);
+  }
+}
+
+TEST(NodeMatchTest, NestedLoopCountsAllTests) {
+  Rng rng(5);
+  const RTreeNode a = RandomNode(rng, 0, 10, 0.3);
+  const RTreeNode b = RandomNode(rng, 0, 12, 0.3);
+  NodeMatchOptions options;
+  options.use_plane_sweep = false;
+  options.use_search_space_restriction = false;
+  NodeMatchCounts counts;
+  MatchNodeEntries(a, b, options, &counts);
+  EXPECT_EQ(counts.pairs_tested, 120u);
+}
+
+}  // namespace
+}  // namespace psj

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/page_file.h"
+#include "util/rng.h"
+
+namespace psj {
+namespace {
+
+PageData RandomPage(Rng& rng) {
+  PageData page;
+  for (auto& byte : page) {
+    byte = static_cast<std::byte>(rng.NextBelow(256));
+  }
+  return page;
+}
+
+TEST(PageFilePersistenceTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/psj_pagefile_test.pf";
+  Rng rng(1);
+  PageFile file(7);
+  for (int i = 0; i < 20; ++i) {
+    file.AllocatePage();
+    file.WritePage(static_cast<uint32_t>(i), RandomPage(rng));
+  }
+  ASSERT_TRUE(file.SaveToFile(path).ok());
+
+  auto loaded = PageFile::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->file_id(), 7u);
+  ASSERT_EQ(loaded->num_pages(), 20u);
+  for (uint32_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(loaded->ReadPage(i), file.ReadPage(i)) << "page " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PageFilePersistenceTest, EmptyFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/psj_pagefile_empty.pf";
+  PageFile file(3);
+  ASSERT_TRUE(file.SaveToFile(path).ok());
+  auto loaded = PageFile::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_pages(), 0u);
+  EXPECT_EQ(loaded->file_id(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(PageFilePersistenceTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(
+      PageFile::LoadFromFile("/nonexistent/psj.pf").status().IsNotFound());
+}
+
+TEST(PageFilePersistenceTest, GarbageFileIsCorruption) {
+  const std::string path = ::testing::TempDir() + "/psj_pagefile_bad.pf";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "not a page file";
+  std::fwrite(junk, sizeof(junk), 1, f);
+  std::fclose(f);
+  EXPECT_TRUE(PageFile::LoadFromFile(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(PageFilePersistenceTest, TruncatedFileIsCorruption) {
+  const std::string path = ::testing::TempDir() + "/psj_pagefile_trunc.pf";
+  Rng rng(2);
+  PageFile file(1);
+  for (int i = 0; i < 5; ++i) {
+    file.AllocatePage();
+    file.WritePage(static_cast<uint32_t>(i), RandomPage(rng));
+  }
+  ASSERT_TRUE(file.SaveToFile(path).ok());
+  // Chop off the last page.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 100), 0);
+  EXPECT_TRUE(PageFile::LoadFromFile(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace psj

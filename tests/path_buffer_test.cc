@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "buffer/path_buffer.h"
+
+namespace psj {
+namespace {
+
+TEST(PathBufferTest, EmptyContainsNothing) {
+  PathBuffer buffer(3);
+  EXPECT_FALSE(buffer.Contains(PageId{0, 1}, 0));
+  EXPECT_FALSE(buffer.Contains(PageId{0, 1}, 2));
+}
+
+TEST(PathBufferTest, HoldsOneNodePerLevelPerTree) {
+  PathBuffer buffer(3);
+  buffer.Enter(PageId{0, 10}, 2);  // Root of tree 0.
+  buffer.Enter(PageId{0, 20}, 1);
+  buffer.Enter(PageId{0, 30}, 0);
+  EXPECT_TRUE(buffer.Contains(PageId{0, 10}, 2));
+  EXPECT_TRUE(buffer.Contains(PageId{0, 20}, 1));
+  EXPECT_TRUE(buffer.Contains(PageId{0, 30}, 0));
+}
+
+TEST(PathBufferTest, NewPathSegmentInvalidatesDeeperLevels) {
+  PathBuffer buffer(3);
+  buffer.Enter(PageId{0, 10}, 2);
+  buffer.Enter(PageId{0, 20}, 1);
+  buffer.Enter(PageId{0, 30}, 0);
+  // Descend into another level-1 node: its old leaf must be dropped.
+  buffer.Enter(PageId{0, 21}, 1);
+  EXPECT_TRUE(buffer.Contains(PageId{0, 10}, 2));
+  EXPECT_TRUE(buffer.Contains(PageId{0, 21}, 1));
+  EXPECT_FALSE(buffer.Contains(PageId{0, 20}, 1));
+  EXPECT_FALSE(buffer.Contains(PageId{0, 30}, 0));
+}
+
+TEST(PathBufferTest, ReenteringSamePageKeepsDeeperLevels) {
+  PathBuffer buffer(3);
+  buffer.Enter(PageId{0, 10}, 2);
+  buffer.Enter(PageId{0, 20}, 1);
+  buffer.Enter(PageId{0, 30}, 0);
+  buffer.Enter(PageId{0, 20}, 1);  // Same node again: a no-op.
+  EXPECT_TRUE(buffer.Contains(PageId{0, 30}, 0));
+}
+
+TEST(PathBufferTest, TreesAreIndependent) {
+  PathBuffer buffer(3);
+  buffer.Enter(PageId{0, 10}, 1);
+  buffer.Enter(PageId{1, 10}, 1);
+  EXPECT_TRUE(buffer.Contains(PageId{0, 10}, 1));
+  EXPECT_TRUE(buffer.Contains(PageId{1, 10}, 1));
+  buffer.Enter(PageId{0, 11}, 1);
+  EXPECT_FALSE(buffer.Contains(PageId{0, 10}, 1));
+  EXPECT_TRUE(buffer.Contains(PageId{1, 10}, 1));
+}
+
+TEST(PathBufferTest, LevelsBeyondHeightIgnored) {
+  PathBuffer buffer(2);
+  buffer.Enter(PageId{0, 10}, 5);
+  EXPECT_FALSE(buffer.Contains(PageId{0, 10}, 5));
+}
+
+TEST(PathBufferTest, ClearDropsEverything) {
+  PathBuffer buffer(3);
+  buffer.Enter(PageId{0, 10}, 1);
+  buffer.Clear();
+  EXPECT_FALSE(buffer.Contains(PageId{0, 10}, 1));
+}
+
+TEST(PathBufferTest, SamePageNumberDifferentLevelDoesNotMatch) {
+  PathBuffer buffer(3);
+  buffer.Enter(PageId{0, 10}, 1);
+  EXPECT_FALSE(buffer.Contains(PageId{0, 10}, 0));
+  EXPECT_FALSE(buffer.Contains(PageId{0, 10}, 2));
+}
+
+}  // namespace
+}  // namespace psj

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "geo/plane_sweep.h"
+#include "util/rng.h"
+
+namespace psj {
+namespace {
+
+using Pair = std::pair<size_t, size_t>;
+
+std::vector<Rect> RandomRects(Rng& rng, int count, double max_extent) {
+  std::vector<Rect> rects;
+  rects.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double x = rng.NextDoubleInRange(0.0, 1.0);
+    const double y = rng.NextDoubleInRange(0.0, 1.0);
+    rects.emplace_back(x, y, x + rng.NextDoubleInRange(0.0, max_extent),
+                       y + rng.NextDoubleInRange(0.0, max_extent));
+  }
+  return rects;
+}
+
+std::set<Pair> CollectSet(const std::vector<Pair>& pairs) {
+  return std::set<Pair>(pairs.begin(), pairs.end());
+}
+
+TEST(SortedOrderTest, SortsByXlWithStableTies) {
+  const std::vector<Rect> rects = {
+      Rect(2, 0, 3, 1), Rect(1, 0, 2, 1), Rect(1, 5, 2, 6)};
+  const auto order = SortedOrderByXl(rects);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);  // xl == 1, lower index first.
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_FALSE(IsSortedByXl(rects));
+  std::vector<Rect> sorted = {rects[1], rects[2], rects[0]};
+  EXPECT_TRUE(IsSortedByXl(sorted));
+}
+
+TEST(PlaneSweepTest, SmallHandComputedExample) {
+  // Figure 1-style setup: overlapping ranges along x.
+  const std::vector<Rect> r = {Rect(0, 0, 2, 2), Rect(3, 0, 5, 2)};
+  const std::vector<Rect> s = {Rect(1, 1, 4, 3), Rect(6, 0, 7, 1)};
+  std::vector<Pair> pairs;
+  PlaneSweepJoin(std::span<const Rect>(r), std::span<const Rect>(s),
+                 [&](size_t i, size_t j) { pairs.emplace_back(i, j); });
+  EXPECT_EQ(CollectSet(pairs), (std::set<Pair>{{0, 0}, {1, 0}}));
+}
+
+TEST(PlaneSweepTest, EmptyInputs) {
+  const std::vector<Rect> r = {Rect(0, 0, 1, 1)};
+  const std::vector<Rect> empty;
+  int count = 0;
+  PlaneSweepJoin(std::span<const Rect>(r), std::span<const Rect>(empty),
+                 [&](size_t, size_t) { ++count; });
+  PlaneSweepJoin(std::span<const Rect>(empty), std::span<const Rect>(r),
+                 [&](size_t, size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PlaneSweepTest, TouchingBoundariesCount) {
+  const std::vector<Rect> r = {Rect(0, 0, 1, 1)};
+  const std::vector<Rect> s = {Rect(1, 1, 2, 2)};  // Shares one corner.
+  std::vector<Pair> pairs;
+  PlaneSweepJoin(std::span<const Rect>(r), std::span<const Rect>(s),
+                 [&](size_t i, size_t j) { pairs.emplace_back(i, j); });
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(PlaneSweepTest, EmitsEachPairExactlyOnce) {
+  Rng rng(77);
+  const auto r = RandomRects(rng, 60, 0.3);
+  const auto s = RandomRects(rng, 60, 0.3);
+  std::vector<Pair> pairs;
+  PlaneSweepJoin(std::span<const Rect>(r), std::span<const Rect>(s),
+                 [&](size_t i, size_t j) { pairs.emplace_back(i, j); });
+  const std::set<Pair> unique = CollectSet(pairs);
+  EXPECT_EQ(unique.size(), pairs.size()) << "duplicate pair emitted";
+}
+
+// Property: plane sweep returns exactly the brute-force result on random
+// inputs of varying density.
+class PlaneSweepPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(PlaneSweepPropertyTest, MatchesBruteForce) {
+  const auto [count, extent] = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(count) +
+          static_cast<uint64_t>(extent * 1e4));
+  const auto r = RandomRects(rng, count, extent);
+  const auto s = RandomRects(rng, count + 7, extent);
+
+  std::vector<Pair> sweep;
+  PlaneSweepJoin(std::span<const Rect>(r), std::span<const Rect>(s),
+                 [&](size_t i, size_t j) { sweep.emplace_back(i, j); });
+  std::vector<Pair> brute;
+  BruteForceJoin(std::span<const Rect>(r), std::span<const Rect>(s),
+                 [&](size_t i, size_t j) { brute.emplace_back(i, j); });
+  EXPECT_EQ(CollectSet(sweep), CollectSet(brute));
+  EXPECT_EQ(sweep.size(), brute.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Density, PlaneSweepPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 10, 50, 200),
+                       ::testing::Values(0.01, 0.1, 0.5)));
+
+TEST(PlaneSweepTest, SweepOrderIsMonotoneInX) {
+  // In local plane-sweep order, the x position of emitted pairs (the
+  // anchor's xl) never decreases.
+  Rng rng(5);
+  auto r = RandomRects(rng, 100, 0.2);
+  auto s = RandomRects(rng, 100, 0.2);
+  std::sort(r.begin(), r.end(),
+            [](const Rect& a, const Rect& b) { return a.xl < b.xl; });
+  std::sort(s.begin(), s.end(),
+            [](const Rect& a, const Rect& b) { return a.xl < b.xl; });
+  double last_anchor = -1.0;
+  PlaneSweepJoinSorted(
+      std::span<const Rect>(r), std::span<const Rect>(s),
+      [&](size_t i, size_t j) {
+        // The anchor is the rect with the smaller xl.
+        const double anchor = std::min(r[i].xl, s[j].xl);
+        EXPECT_GE(anchor, last_anchor - 1e-12);
+        last_anchor = std::max(last_anchor, anchor);
+      });
+}
+
+TEST(RestrictedPlaneSweepTest, ClipDropsOutsideEntries) {
+  const std::vector<Rect> r = {Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)};
+  const std::vector<Rect> s = {Rect(0.5, 0.5, 1.5, 1.5), Rect(5, 5, 6, 6)};
+  const Rect clip(0, 0, 2, 2);
+  std::vector<Pair> pairs;
+  size_t considered_r = 0;
+  size_t considered_s = 0;
+  RestrictedPlaneSweepJoin(std::span<const Rect>(r), std::span<const Rect>(s),
+                           clip,
+                           [&](size_t i, size_t j) {
+                             pairs.emplace_back(i, j);
+                           },
+                           &considered_r, &considered_s);
+  EXPECT_EQ(considered_r, 1u);
+  EXPECT_EQ(considered_s, 1u);
+  EXPECT_EQ(pairs, (std::vector<Pair>{{0, 0}}));
+}
+
+TEST(RestrictedPlaneSweepTest, RestrictionToCommonMbrIsLossless) {
+  // Restricting to the intersection of the two sides' MBRs must not lose
+  // any intersecting pair.
+  Rng rng(6);
+  const auto r = RandomRects(rng, 80, 0.2);
+  const auto s = RandomRects(rng, 80, 0.2);
+  Rect mbr_r = Rect::Empty();
+  Rect mbr_s = Rect::Empty();
+  for (const Rect& x : r) mbr_r.ExpandToInclude(x);
+  for (const Rect& x : s) mbr_s.ExpandToInclude(x);
+  const Rect clip = mbr_r.Intersection(mbr_s);
+
+  std::vector<Pair> restricted;
+  RestrictedPlaneSweepJoin(std::span<const Rect>(r), std::span<const Rect>(s),
+                           clip, [&](size_t i, size_t j) {
+                             restricted.emplace_back(i, j);
+                           });
+  std::vector<Pair> brute;
+  BruteForceJoin(std::span<const Rect>(r), std::span<const Rect>(s),
+                 [&](size_t i, size_t j) { brute.emplace_back(i, j); });
+  EXPECT_EQ(CollectSet(restricted), CollectSet(brute));
+}
+
+}  // namespace
+}  // namespace psj

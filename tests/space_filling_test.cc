@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "geo/space_filling.h"
+
+namespace psj {
+namespace {
+
+TEST(HilbertCurveTest, Order1MatchesHandComputation) {
+  const HilbertCurve curve(1);
+  // The order-1 Hilbert curve visits (0,0) (0,1) (1,1) (1,0).
+  EXPECT_EQ(curve.CellIndex(0, 0), 0u);
+  EXPECT_EQ(curve.CellIndex(0, 1), 1u);
+  EXPECT_EQ(curve.CellIndex(1, 1), 2u);
+  EXPECT_EQ(curve.CellIndex(1, 0), 3u);
+}
+
+TEST(HilbertCurveTest, IsABijectionOnTheGrid) {
+  const HilbertCurve curve(4);  // 16x16 grid.
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      const uint64_t index = curve.CellIndex(x, y);
+      EXPECT_LT(index, 256u);
+      EXPECT_TRUE(seen.insert(index).second)
+          << "duplicate index " << index << " at (" << x << "," << y << ")";
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(HilbertCurveTest, ConsecutiveIndexesAreGridNeighbors) {
+  const HilbertCurve curve(5);  // 32x32.
+  const uint32_t size = 32;
+  std::vector<std::pair<uint32_t, uint32_t>> by_index(size * size);
+  for (uint32_t x = 0; x < size; ++x) {
+    for (uint32_t y = 0; y < size; ++y) {
+      by_index[curve.CellIndex(x, y)] = {x, y};
+    }
+  }
+  for (size_t i = 1; i < by_index.size(); ++i) {
+    const auto [x0, y0] = by_index[i - 1];
+    const auto [x1, y1] = by_index[i];
+    const int manhattan = std::abs(static_cast<int>(x0) -
+                                   static_cast<int>(x1)) +
+                          std::abs(static_cast<int>(y0) -
+                                   static_cast<int>(y1));
+    ASSERT_EQ(manhattan, 1) << "jump between index " << i - 1 << " and "
+                            << i;
+  }
+}
+
+TEST(ZOrderCurveTest, InterleavesBits) {
+  const ZOrderCurve curve(3);
+  EXPECT_EQ(curve.CellIndex(0, 0), 0u);
+  EXPECT_EQ(curve.CellIndex(1, 0), 1u);
+  EXPECT_EQ(curve.CellIndex(0, 1), 2u);
+  EXPECT_EQ(curve.CellIndex(1, 1), 3u);
+  EXPECT_EQ(curve.CellIndex(2, 0), 4u);
+  EXPECT_EQ(curve.CellIndex(7, 7), 63u);
+}
+
+TEST(ZOrderCurveTest, IsABijectionOnTheGrid) {
+  const ZOrderCurve curve(4);
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      EXPECT_TRUE(seen.insert(curve.CellIndex(x, y)).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(PointIndexTest, MapsWorldCoordinatesToCells) {
+  const HilbertCurve curve(8);
+  const Rect world(0, 0, 1, 1);
+  // Corners map to distinct cells; the same point maps consistently.
+  const uint64_t a = curve.PointIndex(Point{0.01, 0.01}, world);
+  const uint64_t b = curve.PointIndex(Point{0.99, 0.99}, world);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(curve.PointIndex(Point{0.5, 0.5}, world),
+            curve.PointIndex(Point{0.5, 0.5}, world));
+  // Out-of-world points clamp instead of crashing.
+  EXPECT_EQ(curve.PointIndex(Point{-5, -5}, world),
+            curve.PointIndex(Point{0, 0}, world));
+}
+
+TEST(PointIndexTest, LocalityBeatsRandomAssignment) {
+  // Nearby points land on nearby Hilbert indexes far more often than on
+  // nearby Z-order indexes or random ones. Weak statistical check.
+  const HilbertCurve hilbert(10);
+  const Rect world(0, 0, 1, 1);
+  int64_t hilbert_gap = 0;
+  const int steps = 1000;
+  for (int i = 0; i < steps; ++i) {
+    const double t = static_cast<double>(i) / steps;
+    const Point p0{t, 0.5};
+    const Point p1{t + 0.0005, 0.5};
+    hilbert_gap += std::llabs(
+        static_cast<long long>(hilbert.PointIndex(p0, world)) -
+        static_cast<long long>(hilbert.PointIndex(p1, world)));
+  }
+  // Average jump along a short horizontal walk stays small relative to the
+  // 2^20-cell index space.
+  EXPECT_LT(hilbert_gap / steps, 1 << 12);
+}
+
+}  // namespace
+}  // namespace psj

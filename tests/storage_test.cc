@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "storage/disk_array.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace psj {
+namespace {
+
+TEST(PageConstantsTest, PaperFanouts) {
+  // §4.1: 4 KB pages, 40-byte directory entries, 156-byte data entries.
+  EXPECT_EQ(kPageSize, 4096u);
+  EXPECT_EQ(kMaxDirEntries, 102u);
+  EXPECT_EQ(kMaxDataEntries, 26u);
+}
+
+TEST(PageIdTest, OrderingAndEquality) {
+  const PageId a{1, 5};
+  const PageId b{1, 6};
+  const PageId c{2, 0};
+  EXPECT_EQ(a, (PageId{1, 5}));
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_TRUE(a.IsValid());
+  EXPECT_FALSE(PageId::Invalid().IsValid());
+  EXPECT_EQ(a.ToString(), "1:5");
+}
+
+TEST(PageIdTest, HashDistinguishesFileAndPage) {
+  PageIdHash hash;
+  EXPECT_NE(hash(PageId{1, 5}), hash(PageId{5, 1}));
+  EXPECT_EQ(hash(PageId{1, 5}), hash(PageId{1, 5}));
+}
+
+TEST(PageFileTest, AllocateReadWrite) {
+  PageFile file(3);
+  EXPECT_EQ(file.num_pages(), 0u);
+  const PageId p0 = file.AllocatePage();
+  const PageId p1 = file.AllocatePage();
+  EXPECT_EQ(p0, (PageId{3, 0}));
+  EXPECT_EQ(p1, (PageId{3, 1}));
+  EXPECT_EQ(file.num_pages(), 2u);
+
+  PageData data;
+  data.fill(std::byte{0xAB});
+  file.WritePage(1, data);
+  EXPECT_EQ(file.ReadPage(1), data);
+  // Page 0 stays zeroed.
+  EXPECT_EQ(file.ReadPage(0)[0], std::byte{0});
+}
+
+TEST(DiskParametersTest, PaperCosts) {
+  const DiskParameters params;
+  EXPECT_EQ(params.DirectoryPageCost(), 16 * sim::kMillisecond);
+  EXPECT_EQ(params.DataPageWithClusterCost(), 37'500);
+}
+
+TEST(DiskArrayTest, ModuloPlacementCoversAllDisks) {
+  DiskArrayModel disks(8, DiskParameters());
+  std::vector<int> counts(8, 0);
+  for (uint32_t p = 0; p < 800; ++p) {
+    const int d = disks.DiskOf(PageId{0, p});
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, 8);
+    ++counts[static_cast<size_t>(d)];
+  }
+  for (int c : counts) {
+    EXPECT_EQ(c, 100);  // Perfectly even for modulo placement.
+  }
+}
+
+TEST(DiskArrayTest, SingleDiskSerializesRequests) {
+  DiskArrayModel disks(1, DiskParameters());
+  sim::Scheduler sched;
+  std::vector<sim::SimTime> done(3);
+  for (int i = 0; i < 3; ++i) {
+    sched.Spawn([&, i](sim::Process& p) {
+      disks.ReadPage(p, PageId{0, static_cast<uint32_t>(i)}, false);
+      done[static_cast<size_t>(i)] = p.now();
+    });
+  }
+  sched.Run();
+  EXPECT_EQ(done[0], 16'000);
+  EXPECT_EQ(done[1], 32'000);
+  EXPECT_EQ(done[2], 48'000);
+  EXPECT_EQ(disks.total_accesses(), 3);
+  EXPECT_GT(disks.total_queue_wait(), 0);
+}
+
+TEST(DiskArrayTest, DistinctDisksServeInParallel) {
+  DiskArrayModel disks(3, DiskParameters());
+  sim::Scheduler sched;
+  std::vector<sim::SimTime> done(3);
+  for (int i = 0; i < 3; ++i) {
+    sched.Spawn([&, i](sim::Process& p) {
+      // file_id 0, page i -> disk i.
+      disks.ReadPage(p, PageId{0, static_cast<uint32_t>(i)}, false);
+      done[static_cast<size_t>(i)] = p.now();
+    });
+  }
+  sched.Run();
+  EXPECT_EQ(done, (std::vector<sim::SimTime>{16'000, 16'000, 16'000}));
+  EXPECT_EQ(disks.disk_accesses(0), 1);
+  EXPECT_EQ(disks.disk_accesses(1), 1);
+  EXPECT_EQ(disks.disk_accesses(2), 1);
+}
+
+TEST(DiskArrayTest, DataPageChargesClusterCost) {
+  DiskArrayModel disks(1, DiskParameters());
+  sim::Scheduler sched;
+  sim::SimTime done = 0;
+  sched.Spawn([&](sim::Process& p) {
+    disks.ReadPage(p, PageId{0, 0}, /*is_data_page=*/true);
+    done = p.now();
+  });
+  sched.Run();
+  EXPECT_EQ(done, 37'500);
+}
+
+}  // namespace
+}  // namespace psj

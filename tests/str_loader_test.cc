@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rtree/str_loader.h"
+#include "rtree/validator.h"
+#include "util/rng.h"
+
+namespace psj {
+namespace {
+
+std::vector<RTreeEntry> RandomEntries(uint64_t seed, int count) {
+  Rng rng(seed);
+  std::vector<RTreeEntry> entries;
+  for (int i = 0; i < count; ++i) {
+    const double x = rng.NextDoubleInRange(0.0, 1.0);
+    const double y = rng.NextDoubleInRange(0.0, 1.0);
+    entries.push_back(RTreeEntry{Rect(x, y, x + 0.01, y + 0.01),
+                                 static_cast<uint64_t>(i)});
+  }
+  return entries;
+}
+
+TEST(StrLoaderTest, EmptyInputMakesValidEmptyTree) {
+  const RStarTree tree = BuildStrTree(1, {});
+  EXPECT_TRUE(ValidateRTree(tree).ok());
+  EXPECT_EQ(tree.num_data_entries(), 0);
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(StrLoaderTest, SingleLeafWhenFewEntries) {
+  const RStarTree tree = BuildStrTree(1, RandomEntries(1, 10));
+  EXPECT_TRUE(ValidateRTree(tree).ok());
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.num_data_entries(), 10);
+}
+
+TEST(StrLoaderTest, LargeLoadIsValidAndComplete) {
+  const auto entries = RandomEntries(2, 20'000);
+  const RStarTree tree = BuildStrTree(7, entries);
+  EXPECT_TRUE(ValidateRTree(tree).ok());
+  EXPECT_EQ(tree.num_data_entries(), 20'000);
+  EXPECT_GE(tree.height(), 2);
+  // Every entry findable.
+  const auto hits = tree.WindowQuery(Rect(0, 0, 2, 2));
+  EXPECT_EQ(hits.size(), entries.size());
+  const std::set<uint64_t> unique(hits.begin(), hits.end());
+  EXPECT_EQ(unique.size(), entries.size());
+}
+
+TEST(StrLoaderTest, FullFillPacksTighterThanPartialFill) {
+  const auto entries = RandomEntries(3, 10'000);
+  StrLoadOptions full;
+  full.fill_fraction = 1.0;
+  StrLoadOptions partial;
+  partial.fill_fraction = 0.7;
+  const auto full_stats = BuildStrTree(1, entries, full).ComputeShapeStats();
+  const auto partial_stats =
+      BuildStrTree(1, entries, partial).ComputeShapeStats();
+  EXPECT_LT(full_stats.num_data_pages, partial_stats.num_data_pages);
+  EXPECT_GT(full_stats.avg_data_fill, 0.95);
+}
+
+TEST(StrLoaderTest, QueriesMatchLinearScan) {
+  const auto entries = RandomEntries(4, 3'000);
+  const RStarTree tree = BuildStrTree(1, entries);
+  Rng rng(5);
+  for (int q = 0; q < 30; ++q) {
+    const double x = rng.NextDoubleInRange(0.0, 0.9);
+    const double y = rng.NextDoubleInRange(0.0, 0.9);
+    const Rect window(x, y, x + 0.1, y + 0.1);
+    std::set<uint64_t> expected;
+    for (const auto& e : entries) {
+      if (e.rect.Intersects(window)) expected.insert(e.id);
+    }
+    auto hits = tree.WindowQuery(window);
+    const std::set<uint64_t> actual(hits.begin(), hits.end());
+    ASSERT_EQ(actual, expected);
+  }
+}
+
+TEST(StrLoaderTest, AwkwardSizesStayStructurallyValid) {
+  // STR distributes the remainder evenly, but nodes may still fall below
+  // the R* insertion minimum; structural validity (balance, MBRs,
+  // reachability) must always hold.
+  for (int count : {27, 100, 2'700, 2'654, 26 * 26 + 1}) {
+    const RStarTree tree = BuildStrTree(1, RandomEntries(6, count));
+    const Status status = ValidateRTree(tree, /*enforce_min_fill=*/false);
+    EXPECT_TRUE(status.ok()) << "count=" << count << ": "
+                             << status.ToString();
+    EXPECT_EQ(tree.num_data_entries(), count);
+  }
+}
+
+}  // namespace
+}  // namespace psj

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/task_pool.h"
+
+namespace psj {
+namespace {
+
+PageTask T(uint32_t page, int level) {
+  return PageTask{page, static_cast<int16_t>(level)};
+}
+
+std::vector<PageTask> Tasks(int count, int level) {
+  std::vector<PageTask> tasks;
+  for (int i = 0; i < count; ++i) {
+    tasks.push_back(T(static_cast<uint32_t>(i + 1), level));
+  }
+  return tasks;
+}
+
+// Drives a TaskPool from simulated processes and records who executed
+// which task.
+struct PoolHarness {
+  CostModel costs;
+  TaskPool<PageTask> pool;
+  sim::Scheduler scheduler;
+  std::vector<std::vector<uint32_t>> executed;
+
+  PoolHarness(int processors, int levels)
+      : pool(processors, levels, costs, /*seed=*/1),
+        executed(static_cast<size_t>(processors)) {}
+
+  // Every processor drains the pool; item execution costs `item_cost`
+  // virtual time. Optionally steals when idle.
+  void Run(sim::SimTime item_cost, bool steal,
+           ReassignmentLevel level = ReassignmentLevel::kAllLevels) {
+    for (int i = 0; i < pool.num_processors(); ++i) {
+      scheduler.Spawn([this, item_cost, steal, level](sim::Process& p) {
+        for (;;) {
+          auto item = pool.NextItem(p);
+          if (item.has_value()) {
+            p.Advance(item_cost);
+            p.Sync();
+            executed[static_cast<size_t>(p.id())].push_back(item->page);
+            pool.FinishItem(p.id());
+            continue;
+          }
+          p.Sync();
+          if (pool.GlobalDone()) {
+            return;
+          }
+          if (steal) {
+            pool.TryStealWork(p, level, VictimPolicy::kMostLoaded);
+          } else {
+            p.WaitUntil(p.now() + costs.idle_poll_interval);
+          }
+        }
+      });
+    }
+    scheduler.Run();
+  }
+
+  size_t TotalExecuted() const {
+    size_t total = 0;
+    for (const auto& items : executed) {
+      total += items.size();
+    }
+    return total;
+  }
+};
+
+TEST(TaskPoolTest, StaticRangeAssignsContiguousBlocks) {
+  PoolHarness harness(3, 2);
+  harness.pool.Assign(TaskAssignment::kStaticRange, Tasks(7, 1), 1);
+  harness.Run(1000, /*steal=*/false);
+  // 7 tasks over 3 CPUs: 3/2/2 contiguous.
+  EXPECT_EQ(harness.executed[0],
+            (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(harness.executed[1], (std::vector<uint32_t>{4, 5}));
+  EXPECT_EQ(harness.executed[2], (std::vector<uint32_t>{6, 7}));
+}
+
+TEST(TaskPoolTest, RoundRobinInterleaves) {
+  PoolHarness harness(3, 2);
+  harness.pool.Assign(TaskAssignment::kStaticRoundRobin, Tasks(7, 1), 1);
+  harness.Run(1000, /*steal=*/false);
+  EXPECT_EQ(harness.executed[0], (std::vector<uint32_t>{1, 4, 7}));
+  EXPECT_EQ(harness.executed[1], (std::vector<uint32_t>{2, 5}));
+  EXPECT_EQ(harness.executed[2], (std::vector<uint32_t>{3, 6}));
+}
+
+TEST(TaskPoolTest, DynamicQueueServesEveryTaskExactlyOnce) {
+  PoolHarness harness(4, 2);
+  harness.pool.Assign(TaskAssignment::kDynamic, Tasks(50, 1), 1);
+  harness.Run(1000, /*steal=*/false);
+  EXPECT_EQ(harness.TotalExecuted(), 50u);
+  std::set<uint32_t> all;
+  for (const auto& items : harness.executed) {
+    all.insert(items.begin(), items.end());
+  }
+  EXPECT_EQ(all.size(), 50u);
+  // Dynamic pulls balance an even workload: everyone works.
+  for (const auto& items : harness.executed) {
+    EXPECT_GT(items.size(), 5u);
+  }
+}
+
+TEST(TaskPoolTest, StealingRebalancesSkewedStaticAssignment) {
+  // All work lands on processor 0 (range assignment of 1 huge block when
+  // m < n would still spread; instead push directly).
+  PoolHarness harness(4, 2);
+  harness.pool.Assign(TaskAssignment::kStaticRange, Tasks(0, 1), 1);
+  harness.pool.Push(0, Tasks(40, 1));
+  harness.Run(5'000, /*steal=*/true);
+  EXPECT_EQ(harness.TotalExecuted(), 40u);
+  // The idle processors stole a substantial share.
+  size_t stolen_work = 0;
+  for (int cpu = 1; cpu < 4; ++cpu) {
+    stolen_work += harness.executed[static_cast<size_t>(cpu)].size();
+  }
+  EXPECT_GT(stolen_work, 10u);
+  EXPECT_GT(harness.pool.counters(1).items_stolen +
+                harness.pool.counters(2).items_stolen +
+                harness.pool.counters(3).items_stolen,
+            0);
+  EXPECT_GT(harness.pool.counters(0).items_given, 0);
+}
+
+TEST(TaskPoolTest, RootLevelStealIgnoresDeeperWork) {
+  PoolHarness harness(2, 3);
+  harness.pool.Assign(TaskAssignment::kStaticRange, Tasks(0, 2), 2);
+  // Processor 0 has only level-0 (deep) work; root-level reassignment may
+  // not move it.
+  harness.pool.Push(0, Tasks(20, 0));
+  harness.Run(5'000, /*steal=*/true, ReassignmentLevel::kRootLevel);
+  EXPECT_EQ(harness.TotalExecuted(), 20u);
+  EXPECT_EQ(harness.executed[1].size(), 0u);
+  EXPECT_EQ(harness.pool.counters(1).items_stolen, 0);
+}
+
+TEST(TaskPoolTest, BuddyIsPreferredOverMostLoaded) {
+  // After a first reassignment pairs processors 0 and 1, processor 1 keeps
+  // helping its buddy 0 even though processor 2 reports more work —
+  // until the buddy is empty (§3.4).
+  CostModel costs;
+  TaskPool<PageTask> pool(3, 2, costs, 1);
+  pool.Assign(TaskAssignment::kStaticRange, Tasks(0, 1), 1);
+  sim::Scheduler scheduler;
+  scheduler.Spawn([&](sim::Process& p) {  // Processor 0: idle victim-to-be.
+    p.WaitUntil(1'000'000);
+  });
+  scheduler.Spawn([&](sim::Process& p) {  // Processor 1: the thief.
+    // Give 0 a little work and 2 a lot.
+    pool.Push(0, Tasks(4, 1));
+    pool.Push(2, Tasks(30, 1));
+    p.Sync();
+    // First steal: most-loaded picks 2 (no buddy yet).
+    ASSERT_TRUE(pool.TryStealWork(p, ReassignmentLevel::kAllLevels,
+                                  VictimPolicy::kMostLoaded));
+    const int64_t stolen_first = pool.counters(1).items_stolen;
+    EXPECT_EQ(stolen_first, 15);  // Half of 30 from processor 2.
+    // Drain what was stolen so the next steal is needed.
+    while (pool.NextItem(p).has_value()) {
+      pool.FinishItem(p.id());
+    }
+    // Second steal: the buddy (processor 2) still has work and must be
+    // chosen again even though its report may no longer be the largest.
+    ASSERT_TRUE(pool.TryStealWork(p, ReassignmentLevel::kAllLevels,
+                                  VictimPolicy::kMostLoaded));
+    EXPECT_GT(pool.counters(2).items_given, 15);
+    EXPECT_EQ(pool.counters(0).items_given, 0);
+    while (pool.NextItem(p).has_value()) {
+      pool.FinishItem(p.id());
+    }
+  });
+  scheduler.Spawn([&](sim::Process& p) {  // Processor 2: asleep, loaded.
+    p.WaitUntil(1'000'000);
+    while (pool.NextItem(p).has_value()) {
+      pool.FinishItem(p.id());
+    }
+  });
+  scheduler.Run();
+}
+
+TEST(TaskPoolTest, GlobalDoneRequiresIdleProcessors) {
+  CostModel costs;
+  TaskPool<PageTask> pool(2, 2, costs, 1);
+  pool.Assign(TaskAssignment::kDynamic, Tasks(1, 1), 1);
+  EXPECT_FALSE(pool.GlobalDone());  // Queued task.
+  sim::Scheduler scheduler;
+  scheduler.Spawn([&](sim::Process& p) {
+    auto item = pool.NextItem(p);
+    ASSERT_TRUE(item.has_value());
+    EXPECT_FALSE(pool.GlobalDone());  // Working processor.
+    pool.FinishItem(p.id());
+    EXPECT_TRUE(pool.GlobalDone());
+  });
+  scheduler.Spawn([&](sim::Process&) {});
+  scheduler.Run();
+}
+
+}  // namespace
+}  // namespace psj

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace psj {
+namespace {
+
+NodePair P(uint32_t r, uint32_t s, int level) {
+  return NodePair{r, s, static_cast<int16_t>(level)};
+}
+
+TEST(WorkloadTest, EmptyByDefault) {
+  Workload w(3);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.size(), 0);
+  EXPECT_FALSE(w.PopNext().has_value());
+  EXPECT_EQ(w.HighestLevelInfo(0), (std::pair<int, int64_t>{-1, 0}));
+}
+
+TEST(WorkloadTest, PopTakesLowestLevelFirstFifoWithin) {
+  Workload w(3);
+  w.PushOne(P(1, 1, 2));
+  w.PushOne(P(2, 2, 0));
+  w.PushOne(P(3, 3, 0));
+  w.PushOne(P(4, 4, 1));
+  EXPECT_EQ(*w.PopNext(), P(2, 2, 0));
+  EXPECT_EQ(*w.PopNext(), P(3, 3, 0));
+  EXPECT_EQ(*w.PopNext(), P(4, 4, 1));
+  EXPECT_EQ(*w.PopNext(), P(1, 1, 2));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(WorkloadTest, DepthFirstChildOrdering) {
+  // Simulates execution: a level-1 pair spawns children at level 0; they
+  // must be consumed before the next level-1 pair.
+  Workload w(2);
+  w.PushOne(P(10, 10, 1));
+  w.PushOne(P(20, 20, 1));
+  EXPECT_EQ(*w.PopNext(), P(10, 10, 1));
+  w.Push({P(11, 11, 0), P(12, 12, 0)});
+  EXPECT_EQ(*w.PopNext(), P(11, 11, 0));
+  EXPECT_EQ(*w.PopNext(), P(12, 12, 0));
+  EXPECT_EQ(*w.PopNext(), P(20, 20, 1));
+}
+
+TEST(WorkloadTest, HighestLevelInfoRespectsMinLevel) {
+  Workload w(3);
+  w.Push({P(1, 1, 0), P(2, 2, 0), P(3, 3, 1)});
+  EXPECT_EQ(w.HighestLevelInfo(0), (std::pair<int, int64_t>{1, 1}));
+  EXPECT_EQ(w.HighestLevelInfo(1), (std::pair<int, int64_t>{1, 1}));
+  EXPECT_EQ(w.HighestLevelInfo(2), (std::pair<int, int64_t>{-1, 0}));
+  w.PopNext();  // Removes a level-0 pair.
+  w.PopNext();
+  w.PopNext();  // Removes the level-1 pair.
+  EXPECT_EQ(w.HighestLevelInfo(0), (std::pair<int, int64_t>{-1, 0}));
+}
+
+TEST(WorkloadTest, StealHalfTakesBackHalfOfHighestLevel) {
+  Workload w(2);
+  w.Push({P(1, 1, 1), P(2, 2, 1), P(3, 3, 1), P(4, 4, 1), P(5, 5, 1)});
+  w.Push({P(9, 9, 0)});
+  const auto stolen = w.StealHalf(0);
+  ASSERT_EQ(stolen.size(), 3u);  // ceil(5/2) from level 1.
+  EXPECT_EQ(stolen[0], P(3, 3, 1));
+  EXPECT_EQ(stolen[1], P(4, 4, 1));
+  EXPECT_EQ(stolen[2], P(5, 5, 1));
+  EXPECT_EQ(w.size(), 3);  // 2 level-1 + 1 level-0 remain.
+  // Victim keeps the front half in order.
+  EXPECT_EQ(*w.PopNext(), P(9, 9, 0));
+  EXPECT_EQ(*w.PopNext(), P(1, 1, 1));
+  EXPECT_EQ(*w.PopNext(), P(2, 2, 1));
+}
+
+TEST(WorkloadTest, StealHonorsMinLevel) {
+  Workload w(3);
+  w.Push({P(1, 1, 0), P(2, 2, 0), P(3, 3, 0), P(4, 4, 0)});
+  // Root-level-only stealing finds nothing below level 2.
+  EXPECT_TRUE(w.StealHalf(2).empty());
+  EXPECT_EQ(w.size(), 4);
+  // All-levels stealing takes half of level 0.
+  EXPECT_EQ(w.StealHalf(0).size(), 2u);
+}
+
+TEST(WorkloadTest, StealSinglePairTakesIt) {
+  Workload w(2);
+  w.PushOne(P(1, 1, 1));
+  const auto stolen = w.StealHalf(0);
+  EXPECT_EQ(stolen.size(), 1u);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(WorkloadTest, SizeTracksPushAndPop) {
+  Workload w(4);
+  w.Push({P(1, 1, 3), P(2, 2, 2), P(3, 3, 1)});
+  EXPECT_EQ(w.size(), 3);
+  w.PopNext();
+  EXPECT_EQ(w.size(), 2);
+  w.StealHalf(0);
+  EXPECT_EQ(w.size(), 1);
+}
+
+}  // namespace
+}  // namespace psj

@@ -1,0 +1,42 @@
+// Calibration harness: builds the paper-scale workload, prints Table 1
+// shape statistics plus candidate counts and a t(1) run, so generator
+// constants can be tuned against the paper's numbers.
+#include <cstdio>
+#include <chrono>
+
+#include "core/experiment.h"
+#include "util/string_util.h"
+
+using namespace psj;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? atof(argv[1]) : 1.0;
+  auto wall = [] { return std::chrono::steady_clock::now(); };
+  auto t0 = wall();
+  PaperWorkloadSpec spec;
+  PaperWorkload workload(spec.Scaled(scale));
+  auto t1 = wall();
+  printf("build wall time: %.1fs\n",
+         std::chrono::duration<double>(t1 - t0).count());
+  printf("%s\n", workload.DescribeTrees().c_str());
+
+  ParallelJoinConfig config = ParallelJoinConfig::Gd();
+  config.num_processors = 1;
+  config.num_disks = 1;
+  config.total_buffer_pages = 100;
+  auto result = workload.RunJoin(config);
+  if (!result.ok()) { printf("join failed: %s\n", result.status().ToString().c_str()); return 1; }
+  auto t2 = wall();
+  printf("t(1) join wall time: %.1fs\n", std::chrono::duration<double>(t2 - t1).count());
+  printf("%s\n", result->stats.Summary().c_str());
+
+  if (argc > 2) return 0;
+  config.num_processors = 24; config.num_disks = 24; config.total_buffer_pages = 2400;
+  auto r24 = workload.RunJoin(config);
+  auto t3 = wall();
+  printf("t(24) join wall time: %.1fs\n", std::chrono::duration<double>(t3 - t2).count());
+  printf("%s\n", r24->stats.Summary().c_str());
+  printf("speedup(24) = %.1f\n",
+         (double)result->stats.response_time / (double)r24->stats.response_time);
+  return 0;
+}

@@ -1,0 +1,308 @@
+// psj_cli — command-line front end to the library.
+//
+// Subcommands:
+//   generate   create a synthetic map pair and persist stores + trees
+//   inspect    print Table 1-style statistics of a persisted dataset
+//   join       run a parallel spatial join over a persisted dataset
+//   window     run a parallel window query over one map
+//   knn        run a k-nearest-neighbor query over one map
+//
+// Datasets are addressed by a path prefix: generate writes
+//   <prefix>_store_{r,s}.bin  and  <prefix>_tree_{r,s}.pf
+//
+// Examples:
+//   psj_cli generate --prefix=/tmp/ca --objects=30000 --seed=7
+//   psj_cli inspect  --prefix=/tmp/ca
+//   psj_cli join     --prefix=/tmp/ca --variant=gd --processors=8
+//   psj_cli window   --prefix=/tmp/ca --rect=0.2,0.2,0.6,0.6
+//   psj_cli knn      --prefix=/tmp/ca --point=0.5,0.5 --k=10
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/parallel_join.h"
+#include "core/parallel_window_query.h"
+#include "data/generator.h"
+#include "data/map_builder.h"
+#include "storage/page_file.h"
+#include "util/string_util.h"
+
+namespace psj {
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* key) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+int IntFlag(int argc, char** argv, const char* key, int fallback) {
+  const char* value = FlagValue(argc, argv, key);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+std::string StringFlag(int argc, char** argv, const char* key,
+                       const std::string& fallback) {
+  const char* value = FlagValue(argc, argv, key);
+  return value != nullptr ? value : fallback;
+}
+
+// Parses "a,b,c,d" into doubles; returns false on malformed input.
+bool ParseDoubles(const std::string& text, size_t count, double* out) {
+  const auto fields = SplitString(text, ',');
+  if (fields.size() != count) {
+    return false;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    char* end = nullptr;
+    out[i] = std::strtod(fields[i].c_str(), &end);
+    if (end == fields[i].c_str()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Dataset {
+  ObjectStore store_r;
+  ObjectStore store_s;
+  RStarTree tree_r;
+  RStarTree tree_s;
+};
+
+std::optional<Dataset> LoadDataset(const std::string& prefix) {
+  auto store_r = ObjectStore::LoadFromFile(prefix + "_store_r.bin");
+  auto store_s = ObjectStore::LoadFromFile(prefix + "_store_s.bin");
+  auto file_r = PageFile::LoadFromFile(prefix + "_tree_r.pf");
+  auto file_s = PageFile::LoadFromFile(prefix + "_tree_s.pf");
+  if (!store_r.ok() || !store_s.ok() || !file_r.ok() || !file_s.ok()) {
+    std::fprintf(stderr,
+                 "error: cannot load dataset at prefix '%s' (run "
+                 "'psj_cli generate --prefix=%s' first)\n",
+                 prefix.c_str(), prefix.c_str());
+    return std::nullopt;
+  }
+  auto tree_r = RStarTree::LoadFromPageFile(*file_r);
+  auto tree_s = RStarTree::LoadFromPageFile(*file_s);
+  if (!tree_r.ok() || !tree_s.ok()) {
+    std::fprintf(stderr, "error: corrupt tree files at prefix '%s'\n",
+                 prefix.c_str());
+    return std::nullopt;
+  }
+  return Dataset{std::move(store_r).value(), std::move(store_s).value(),
+                 std::move(tree_r).value(), std::move(tree_s).value()};
+}
+
+int CmdGenerate(int argc, char** argv) {
+  const std::string prefix = StringFlag(argc, argv, "prefix", "");
+  if (prefix.empty()) {
+    std::fprintf(stderr, "error: --prefix=PATH is required\n");
+    return 2;
+  }
+  const int objects = IntFlag(argc, argv, "objects", 30'000);
+  const uint64_t seed =
+      static_cast<uint64_t>(IntFlag(argc, argv, "seed", 2026));
+
+  std::printf("generating %d + %d objects (seed %llu)...\n", objects,
+              objects, static_cast<unsigned long long>(seed));
+  const Geography geo = Geography::Generate(seed, 80);
+  StreetsSpec streets;
+  streets.num_objects = objects;
+  streets.seed = seed + 1;
+  MixedSpec mixed;
+  mixed.num_objects = objects;
+  mixed.seed = seed + 2;
+  const ObjectStore store_r(GenerateStreetsMap(geo, streets));
+  const ObjectStore store_s(GenerateMixedMap(geo, mixed));
+  std::printf("building R*-trees...\n");
+  const RStarTree tree_r = BuildTreeFromObjects(1, store_r.objects());
+  const RStarTree tree_s = BuildTreeFromObjects(2, store_s.objects());
+
+  PageFile file_r(tree_r.tree_id());
+  PageFile file_s(tree_s.tree_id());
+  Status status = store_r.SaveToFile(prefix + "_store_r.bin");
+  if (status.ok()) status = store_s.SaveToFile(prefix + "_store_s.bin");
+  if (status.ok()) status = tree_r.PackToPageFile(&file_r);
+  if (status.ok()) status = tree_s.PackToPageFile(&file_s);
+  if (status.ok()) status = file_r.SaveToFile(prefix + "_tree_r.pf");
+  if (status.ok()) status = file_s.SaveToFile(prefix + "_tree_s.pf");
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s_{store,tree}_{r,s}\n", prefix.c_str());
+  return 0;
+}
+
+void PrintTreeStats(const char* name, const RStarTree& tree) {
+  const RTreeShapeStats stats = tree.ComputeShapeStats();
+  std::printf("%s: height %d, %s data entries, %s data pages, %s directory "
+              "pages, %.0f%% leaf fill\n",
+              name, stats.height,
+              FormatWithCommas(stats.num_data_entries).c_str(),
+              FormatWithCommas(stats.num_data_pages).c_str(),
+              FormatWithCommas(stats.num_dir_pages).c_str(),
+              stats.avg_data_fill * 100.0);
+}
+
+int CmdInspect(int argc, char** argv) {
+  auto dataset = LoadDataset(StringFlag(argc, argv, "prefix", ""));
+  if (!dataset.has_value()) {
+    return 1;
+  }
+  std::printf("map r: %zu objects; map s: %zu objects\n",
+              dataset->store_r.size(), dataset->store_s.size());
+  PrintTreeStats("tree r", dataset->tree_r);
+  PrintTreeStats("tree s", dataset->tree_s);
+  return 0;
+}
+
+ParallelJoinConfig JoinConfigFromFlags(int argc, char** argv, bool* ok) {
+  *ok = true;
+  ParallelJoinConfig config = ParallelJoinConfig::Gd();
+  const std::string variant = StringFlag(argc, argv, "variant", "gd");
+  if (variant == "lsr") {
+    config = ParallelJoinConfig::Lsr();
+  } else if (variant == "gsrr") {
+    config = ParallelJoinConfig::Gsrr();
+  } else if (variant == "gd") {
+    config = ParallelJoinConfig::Gd();
+  } else if (variant == "sn") {
+    config = ParallelJoinConfig::Gd();
+    config.buffer_type = BufferType::kSharedNothing;
+  } else {
+    std::fprintf(stderr, "error: unknown --variant=%s "
+                         "(lsr|gsrr|gd|sn)\n", variant.c_str());
+    *ok = false;
+  }
+  config.reassignment = ReassignmentLevel::kAllLevels;
+  const std::string reassign = StringFlag(argc, argv, "reassign", "all");
+  if (reassign == "none") {
+    config.reassignment = ReassignmentLevel::kNone;
+  } else if (reassign == "root") {
+    config.reassignment = ReassignmentLevel::kRootLevel;
+  }
+  if (StringFlag(argc, argv, "placement", "modulo") == "hilbert") {
+    config.placement = PagePlacement::kHilbertStriping;
+  }
+  config.use_second_filter =
+      IntFlag(argc, argv, "second-filter", 0) != 0;
+  config.num_processors = IntFlag(argc, argv, "processors", 8);
+  config.num_disks = IntFlag(argc, argv, "disks", config.num_processors);
+  config.total_buffer_pages =
+      static_cast<size_t>(IntFlag(argc, argv, "buffer", 800));
+  return config;
+}
+
+int CmdJoin(int argc, char** argv) {
+  auto dataset = LoadDataset(StringFlag(argc, argv, "prefix", ""));
+  if (!dataset.has_value()) {
+    return 1;
+  }
+  bool ok = false;
+  const ParallelJoinConfig config = JoinConfigFromFlags(argc, argv, &ok);
+  if (!ok) {
+    return 2;
+  }
+  std::printf("config: %s\n\n", config.Describe().c_str());
+  ParallelSpatialJoin join(&dataset->tree_r, &dataset->tree_s,
+                           &dataset->store_r, &dataset->store_s);
+  auto result = join.Run(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", result->stats.Summary().c_str());
+  return 0;
+}
+
+int CmdWindow(int argc, char** argv) {
+  auto dataset = LoadDataset(StringFlag(argc, argv, "prefix", ""));
+  if (!dataset.has_value()) {
+    return 1;
+  }
+  double coords[4];
+  if (!ParseDoubles(StringFlag(argc, argv, "rect", ""), 4, coords)) {
+    std::fprintf(stderr, "error: --rect=xl,yl,xu,yu is required\n");
+    return 2;
+  }
+  WindowQueryConfig config;
+  config.num_processors = IntFlag(argc, argv, "processors", 8);
+  config.num_disks = IntFlag(argc, argv, "disks", config.num_processors);
+  config.total_buffer_pages =
+      static_cast<size_t>(IntFlag(argc, argv, "buffer", 800));
+  ParallelWindowQuery query(&dataset->tree_r, &dataset->store_r);
+  auto result =
+      query.Run(Rect(coords[0], coords[1], coords[2], coords[3]), config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", result->stats.Summary().c_str());
+  return 0;
+}
+
+int CmdKnn(int argc, char** argv) {
+  auto dataset = LoadDataset(StringFlag(argc, argv, "prefix", ""));
+  if (!dataset.has_value()) {
+    return 1;
+  }
+  double coords[2];
+  if (!ParseDoubles(StringFlag(argc, argv, "point", ""), 2, coords)) {
+    std::fprintf(stderr, "error: --point=x,y is required\n");
+    return 2;
+  }
+  const int k = IntFlag(argc, argv, "k", 10);
+  if (k <= 0) {
+    std::fprintf(stderr, "error: --k must be positive\n");
+    return 2;
+  }
+  const auto neighbors = dataset->tree_r.KnnQuery(
+      Point{coords[0], coords[1]}, static_cast<size_t>(k));
+  std::printf("%zu nearest neighbors of (%g, %g) in map r:\n",
+              neighbors.size(), coords[0], coords[1]);
+  for (const auto& neighbor : neighbors) {
+    std::printf("  object %8llu  mbr-distance %.6f\n",
+                static_cast<unsigned long long>(neighbor.object_id),
+                neighbor.distance);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: psj_cli <generate|inspect|join|window|knn> [--flags]\n"
+      "  generate --prefix=P [--objects=N] [--seed=S]\n"
+      "  inspect  --prefix=P\n"
+      "  join     --prefix=P [--variant=lsr|gsrr|gd|sn] [--processors=N]\n"
+      "           [--disks=N] [--buffer=N] [--reassign=none|root|all]\n"
+      "           [--placement=modulo|hilbert] [--second-filter=0|1]\n"
+      "  window   --prefix=P --rect=xl,yl,xu,yu [--processors=N]\n"
+      "  knn      --prefix=P --point=x,y [--k=N]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace psj
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return psj::Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "generate") return psj::CmdGenerate(argc, argv);
+  if (command == "inspect") return psj::CmdInspect(argc, argv);
+  if (command == "join") return psj::CmdJoin(argc, argv);
+  if (command == "window") return psj::CmdWindow(argc, argv);
+  if (command == "knn") return psj::CmdKnn(argc, argv);
+  return psj::Usage();
+}
