@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rtree_variants.dir/ablation_rtree_variants.cc.o"
+  "CMakeFiles/ablation_rtree_variants.dir/ablation_rtree_variants.cc.o.d"
+  "ablation_rtree_variants"
+  "ablation_rtree_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rtree_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

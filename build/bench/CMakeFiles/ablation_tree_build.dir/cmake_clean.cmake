@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_build.dir/ablation_tree_build.cc.o"
+  "CMakeFiles/ablation_tree_build.dir/ablation_tree_build.cc.o.d"
+  "ablation_tree_build"
+  "ablation_tree_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

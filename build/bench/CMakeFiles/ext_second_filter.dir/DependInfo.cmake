@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_second_filter.cc" "bench/CMakeFiles/ext_second_filter.dir/ext_second_filter.cc.o" "gcc" "bench/CMakeFiles/ext_second_filter.dir/ext_second_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/psj_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/psj_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/psj_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/psj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/psj_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/psj_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/psj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_second_filter.dir/ext_second_filter.cc.o"
+  "CMakeFiles/ext_second_filter.dir/ext_second_filter.cc.o.d"
+  "ext_second_filter"
+  "ext_second_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_second_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

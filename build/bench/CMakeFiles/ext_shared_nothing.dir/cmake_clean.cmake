@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_shared_nothing.dir/ext_shared_nothing.cc.o"
+  "CMakeFiles/ext_shared_nothing.dir/ext_shared_nothing.cc.o.d"
+  "ext_shared_nothing"
+  "ext_shared_nothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_shared_nothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_window_query.dir/ext_window_query.cc.o"
+  "CMakeFiles/ext_window_query.dir/ext_window_query.cc.o.d"
+  "ext_window_query"
+  "ext_window_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_window_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_reassignment.dir/fig7_reassignment.cc.o"
+  "CMakeFiles/fig7_reassignment.dir/fig7_reassignment.cc.o.d"
+  "fig7_reassignment"
+  "fig7_reassignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_reassignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

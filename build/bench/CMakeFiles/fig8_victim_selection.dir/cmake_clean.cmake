@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_victim_selection.dir/fig8_victim_selection.cc.o"
+  "CMakeFiles/fig8_victim_selection.dir/fig8_victim_selection.cc.o.d"
+  "fig8_victim_selection"
+  "fig8_victim_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_victim_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

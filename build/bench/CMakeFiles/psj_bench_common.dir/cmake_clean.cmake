@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpsj_bench_common.a"
+  "../lib/libpsj_bench_common.pdb"
+  "CMakeFiles/psj_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/psj_bench_common.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psj_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

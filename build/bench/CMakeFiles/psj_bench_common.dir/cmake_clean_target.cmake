@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpsj_bench_common.a"
+)

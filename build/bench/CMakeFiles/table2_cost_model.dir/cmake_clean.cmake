@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cost_model.dir/table2_cost_model.cc.o"
+  "CMakeFiles/table2_cost_model.dir/table2_cost_model.cc.o.d"
+  "table2_cost_model"
+  "table2_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_explorer.dir/variant_explorer.cc.o"
+  "CMakeFiles/variant_explorer.dir/variant_explorer.cc.o.d"
+  "variant_explorer"
+  "variant_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/buffer_pool.cc" "src/buffer/CMakeFiles/psj_buffer.dir/buffer_pool.cc.o" "gcc" "src/buffer/CMakeFiles/psj_buffer.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/buffer/lru_buffer.cc" "src/buffer/CMakeFiles/psj_buffer.dir/lru_buffer.cc.o" "gcc" "src/buffer/CMakeFiles/psj_buffer.dir/lru_buffer.cc.o.d"
+  "/root/repo/src/buffer/path_buffer.cc" "src/buffer/CMakeFiles/psj_buffer.dir/path_buffer.cc.o" "gcc" "src/buffer/CMakeFiles/psj_buffer.dir/path_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psj_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/psj_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

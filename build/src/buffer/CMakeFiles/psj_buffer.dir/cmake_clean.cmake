@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psj_buffer.dir/buffer_pool.cc.o"
+  "CMakeFiles/psj_buffer.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/psj_buffer.dir/lru_buffer.cc.o"
+  "CMakeFiles/psj_buffer.dir/lru_buffer.cc.o.d"
+  "CMakeFiles/psj_buffer.dir/path_buffer.cc.o"
+  "CMakeFiles/psj_buffer.dir/path_buffer.cc.o.d"
+  "libpsj_buffer.a"
+  "libpsj_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psj_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/psj_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/psj_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/psj_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/psj_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/join_config.cc" "src/core/CMakeFiles/psj_core.dir/join_config.cc.o" "gcc" "src/core/CMakeFiles/psj_core.dir/join_config.cc.o.d"
+  "/root/repo/src/core/join_stats.cc" "src/core/CMakeFiles/psj_core.dir/join_stats.cc.o" "gcc" "src/core/CMakeFiles/psj_core.dir/join_stats.cc.o.d"
+  "/root/repo/src/core/parallel_join.cc" "src/core/CMakeFiles/psj_core.dir/parallel_join.cc.o" "gcc" "src/core/CMakeFiles/psj_core.dir/parallel_join.cc.o.d"
+  "/root/repo/src/core/parallel_window_query.cc" "src/core/CMakeFiles/psj_core.dir/parallel_window_query.cc.o" "gcc" "src/core/CMakeFiles/psj_core.dir/parallel_window_query.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/psj_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/psj_core.dir/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psj_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/psj_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/psj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/psj_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/psj_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/psj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/psj_join.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psj_core.dir/cost_model.cc.o"
+  "CMakeFiles/psj_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/psj_core.dir/experiment.cc.o"
+  "CMakeFiles/psj_core.dir/experiment.cc.o.d"
+  "CMakeFiles/psj_core.dir/join_config.cc.o"
+  "CMakeFiles/psj_core.dir/join_config.cc.o.d"
+  "CMakeFiles/psj_core.dir/join_stats.cc.o"
+  "CMakeFiles/psj_core.dir/join_stats.cc.o.d"
+  "CMakeFiles/psj_core.dir/parallel_join.cc.o"
+  "CMakeFiles/psj_core.dir/parallel_join.cc.o.d"
+  "CMakeFiles/psj_core.dir/parallel_window_query.cc.o"
+  "CMakeFiles/psj_core.dir/parallel_window_query.cc.o.d"
+  "CMakeFiles/psj_core.dir/placement.cc.o"
+  "CMakeFiles/psj_core.dir/placement.cc.o.d"
+  "libpsj_core.a"
+  "libpsj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/psj_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/psj_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/map_builder.cc" "src/data/CMakeFiles/psj_data.dir/map_builder.cc.o" "gcc" "src/data/CMakeFiles/psj_data.dir/map_builder.cc.o.d"
+  "/root/repo/src/data/map_object.cc" "src/data/CMakeFiles/psj_data.dir/map_object.cc.o" "gcc" "src/data/CMakeFiles/psj_data.dir/map_object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psj_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/psj_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/psj_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/psj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psj_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psj_data.dir/generator.cc.o"
+  "CMakeFiles/psj_data.dir/generator.cc.o.d"
+  "CMakeFiles/psj_data.dir/map_builder.cc.o"
+  "CMakeFiles/psj_data.dir/map_builder.cc.o.d"
+  "CMakeFiles/psj_data.dir/map_object.cc.o"
+  "CMakeFiles/psj_data.dir/map_object.cc.o.d"
+  "libpsj_data.a"
+  "libpsj_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psj_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

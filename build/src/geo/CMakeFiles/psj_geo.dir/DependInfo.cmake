@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/plane_sweep.cc" "src/geo/CMakeFiles/psj_geo.dir/plane_sweep.cc.o" "gcc" "src/geo/CMakeFiles/psj_geo.dir/plane_sweep.cc.o.d"
+  "/root/repo/src/geo/polyline.cc" "src/geo/CMakeFiles/psj_geo.dir/polyline.cc.o" "gcc" "src/geo/CMakeFiles/psj_geo.dir/polyline.cc.o.d"
+  "/root/repo/src/geo/rect.cc" "src/geo/CMakeFiles/psj_geo.dir/rect.cc.o" "gcc" "src/geo/CMakeFiles/psj_geo.dir/rect.cc.o.d"
+  "/root/repo/src/geo/space_filling.cc" "src/geo/CMakeFiles/psj_geo.dir/space_filling.cc.o" "gcc" "src/geo/CMakeFiles/psj_geo.dir/space_filling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

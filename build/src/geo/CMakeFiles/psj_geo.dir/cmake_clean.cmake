@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psj_geo.dir/plane_sweep.cc.o"
+  "CMakeFiles/psj_geo.dir/plane_sweep.cc.o.d"
+  "CMakeFiles/psj_geo.dir/polyline.cc.o"
+  "CMakeFiles/psj_geo.dir/polyline.cc.o.d"
+  "CMakeFiles/psj_geo.dir/rect.cc.o"
+  "CMakeFiles/psj_geo.dir/rect.cc.o.d"
+  "CMakeFiles/psj_geo.dir/space_filling.cc.o"
+  "CMakeFiles/psj_geo.dir/space_filling.cc.o.d"
+  "libpsj_geo.a"
+  "libpsj_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psj_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/node_match.cc" "src/join/CMakeFiles/psj_join.dir/node_match.cc.o" "gcc" "src/join/CMakeFiles/psj_join.dir/node_match.cc.o.d"
+  "/root/repo/src/join/second_filter.cc" "src/join/CMakeFiles/psj_join.dir/second_filter.cc.o" "gcc" "src/join/CMakeFiles/psj_join.dir/second_filter.cc.o.d"
+  "/root/repo/src/join/sequential_join.cc" "src/join/CMakeFiles/psj_join.dir/sequential_join.cc.o" "gcc" "src/join/CMakeFiles/psj_join.dir/sequential_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psj_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/psj_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/psj_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/psj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/psj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psj_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

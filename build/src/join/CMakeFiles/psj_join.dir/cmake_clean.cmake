@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psj_join.dir/node_match.cc.o"
+  "CMakeFiles/psj_join.dir/node_match.cc.o.d"
+  "CMakeFiles/psj_join.dir/second_filter.cc.o"
+  "CMakeFiles/psj_join.dir/second_filter.cc.o.d"
+  "CMakeFiles/psj_join.dir/sequential_join.cc.o"
+  "CMakeFiles/psj_join.dir/sequential_join.cc.o.d"
+  "libpsj_join.a"
+  "libpsj_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psj_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsj_join.a"
+)

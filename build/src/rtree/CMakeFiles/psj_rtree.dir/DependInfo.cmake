@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtree/node.cc" "src/rtree/CMakeFiles/psj_rtree.dir/node.cc.o" "gcc" "src/rtree/CMakeFiles/psj_rtree.dir/node.cc.o.d"
+  "/root/repo/src/rtree/rstar_tree.cc" "src/rtree/CMakeFiles/psj_rtree.dir/rstar_tree.cc.o" "gcc" "src/rtree/CMakeFiles/psj_rtree.dir/rstar_tree.cc.o.d"
+  "/root/repo/src/rtree/str_loader.cc" "src/rtree/CMakeFiles/psj_rtree.dir/str_loader.cc.o" "gcc" "src/rtree/CMakeFiles/psj_rtree.dir/str_loader.cc.o.d"
+  "/root/repo/src/rtree/validator.cc" "src/rtree/CMakeFiles/psj_rtree.dir/validator.cc.o" "gcc" "src/rtree/CMakeFiles/psj_rtree.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psj_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/psj_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/psj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psj_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psj_rtree.dir/node.cc.o"
+  "CMakeFiles/psj_rtree.dir/node.cc.o.d"
+  "CMakeFiles/psj_rtree.dir/rstar_tree.cc.o"
+  "CMakeFiles/psj_rtree.dir/rstar_tree.cc.o.d"
+  "CMakeFiles/psj_rtree.dir/str_loader.cc.o"
+  "CMakeFiles/psj_rtree.dir/str_loader.cc.o.d"
+  "CMakeFiles/psj_rtree.dir/validator.cc.o"
+  "CMakeFiles/psj_rtree.dir/validator.cc.o.d"
+  "libpsj_rtree.a"
+  "libpsj_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psj_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psj_sim.dir/simulation.cc.o"
+  "CMakeFiles/psj_sim.dir/simulation.cc.o.d"
+  "libpsj_sim.a"
+  "libpsj_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psj_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

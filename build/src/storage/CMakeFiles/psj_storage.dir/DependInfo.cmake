@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk_array.cc" "src/storage/CMakeFiles/psj_storage.dir/disk_array.cc.o" "gcc" "src/storage/CMakeFiles/psj_storage.dir/disk_array.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/psj_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/psj_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/storage/CMakeFiles/psj_storage.dir/page_file.cc.o" "gcc" "src/storage/CMakeFiles/psj_storage.dir/page_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psj_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psj_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

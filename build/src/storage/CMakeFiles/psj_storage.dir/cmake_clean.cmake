@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psj_storage.dir/disk_array.cc.o"
+  "CMakeFiles/psj_storage.dir/disk_array.cc.o.d"
+  "CMakeFiles/psj_storage.dir/page.cc.o"
+  "CMakeFiles/psj_storage.dir/page.cc.o.d"
+  "CMakeFiles/psj_storage.dir/page_file.cc.o"
+  "CMakeFiles/psj_storage.dir/page_file.cc.o.d"
+  "libpsj_storage.a"
+  "libpsj_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psj_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psj_util.dir/rng.cc.o"
+  "CMakeFiles/psj_util.dir/rng.cc.o.d"
+  "CMakeFiles/psj_util.dir/status.cc.o"
+  "CMakeFiles/psj_util.dir/status.cc.o.d"
+  "CMakeFiles/psj_util.dir/string_util.cc.o"
+  "CMakeFiles/psj_util.dir/string_util.cc.o.d"
+  "libpsj_util.a"
+  "libpsj_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psj_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

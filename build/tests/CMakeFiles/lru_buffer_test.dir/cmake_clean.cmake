@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lru_buffer_test.dir/lru_buffer_test.cc.o"
+  "CMakeFiles/lru_buffer_test.dir/lru_buffer_test.cc.o.d"
+  "lru_buffer_test"
+  "lru_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lru_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_join_test.dir/parallel_join_test.cc.o"
+  "CMakeFiles/parallel_join_test.dir/parallel_join_test.cc.o.d"
+  "parallel_join_test"
+  "parallel_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

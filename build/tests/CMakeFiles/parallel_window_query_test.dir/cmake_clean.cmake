@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_window_query_test.dir/parallel_window_query_test.cc.o"
+  "CMakeFiles/parallel_window_query_test.dir/parallel_window_query_test.cc.o.d"
+  "parallel_window_query_test"
+  "parallel_window_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_window_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_buffer_test.dir/path_buffer_test.cc.o"
+  "CMakeFiles/path_buffer_test.dir/path_buffer_test.cc.o.d"
+  "path_buffer_test"
+  "path_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

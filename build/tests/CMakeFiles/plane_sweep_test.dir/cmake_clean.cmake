@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plane_sweep_test.dir/plane_sweep_test.cc.o"
+  "CMakeFiles/plane_sweep_test.dir/plane_sweep_test.cc.o.d"
+  "plane_sweep_test"
+  "plane_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plane_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_variants_test.dir/rtree_variants_test.cc.o"
+  "CMakeFiles/rtree_variants_test.dir/rtree_variants_test.cc.o.d"
+  "rtree_variants_test"
+  "rtree_variants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

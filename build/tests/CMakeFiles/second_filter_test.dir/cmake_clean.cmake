@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/second_filter_test.dir/second_filter_test.cc.o"
+  "CMakeFiles/second_filter_test.dir/second_filter_test.cc.o.d"
+  "second_filter_test"
+  "second_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/second_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_join_test.dir/sequential_join_test.cc.o"
+  "CMakeFiles/sequential_join_test.dir/sequential_join_test.cc.o.d"
+  "sequential_join_test"
+  "sequential_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/str_loader_test.dir/str_loader_test.cc.o"
+  "CMakeFiles/str_loader_test.dir/str_loader_test.cc.o.d"
+  "str_loader_test"
+  "str_loader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/str_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/task_pool_test.cc" "tests/CMakeFiles/task_pool_test.dir/task_pool_test.cc.o" "gcc" "tests/CMakeFiles/task_pool_test.dir/task_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/psj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/psj_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/psj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/psj_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/psj_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/psj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/psj_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

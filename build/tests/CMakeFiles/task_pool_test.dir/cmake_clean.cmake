@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_pool_test.dir/task_pool_test.cc.o"
+  "CMakeFiles/task_pool_test.dir/task_pool_test.cc.o.d"
+  "task_pool_test"
+  "task_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psj_cli.dir/psj_cli.cc.o"
+  "CMakeFiles/psj_cli.dir/psj_cli.cc.o.d"
+  "psj_cli"
+  "psj_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psj_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
