@@ -204,7 +204,8 @@ class JoinDriver {
         const RTreeNode& nr = FetchNode(p, tree_r_, fp.page_r, fp.level_r);
         const RTreeNode& ns = FetchNode(p, tree_s_, fp.page_s, fp.level_s);
         NodeMatchCounts counts;
-        const auto matches = MatchNodeEntries(nr, ns, match_options_, &counts);
+        const auto matches =
+            MatchNodeEntries(nr, ns, match_options_, &counts, &match_scratch_);
         p.Advance(static_cast<sim::SimTime>(counts.entries_considered_r +
                                             counts.entries_considered_s) *
                       config_.costs.cpu_per_entry_sorted +
@@ -268,7 +269,8 @@ class JoinDriver {
     const RTreeNode& nr = FetchNode(p, tree_r_, pair.page_r, pair.level);
     const RTreeNode& ns = FetchNode(p, tree_s_, pair.page_s, pair.level);
     NodeMatchCounts counts;
-    const auto matches = MatchNodeEntries(nr, ns, match_options_, &counts);
+    const auto matches =
+        MatchNodeEntries(nr, ns, match_options_, &counts, &match_scratch_);
     p.Advance(static_cast<sim::SimTime>(counts.entries_considered_r +
                                         counts.entries_considered_s) *
                   config_.costs.cpu_per_entry_sorted +
@@ -363,6 +365,10 @@ class JoinDriver {
   const ObjectStore* objects_s_;
   const ParallelJoinConfig& config_;
   const NodeMatchOptions match_options_;
+  // Matching scratch shared by all simulated processors: MatchNodeEntries
+  // never yields to the scheduler mid-call, so reuse is race free and kills
+  // the per-node-pair allocations.
+  NodeMatchScratch match_scratch_;
   const int num_levels_;
 
   // ---- Simulated platform ----

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <memory>
+#include <span>
 
 #include "buffer/path_buffer.h"
+#include "geo/rect_batch.h"
 #include "core/task_pool.h"
 #include "core/workload.h"
 
@@ -62,6 +64,8 @@ class WindowQueryDriver {
     stats_.assign(static_cast<size_t>(n), ProcessorStats());
     candidate_ids_.resize(static_cast<size_t>(n));
     answer_ids_.resize(static_cast<size_t>(n));
+    filter_batches_.resize(static_cast<size_t>(n));
+    filter_hits_.resize(static_cast<size_t>(n));
   }
 
   WindowQueryResult Run() {
@@ -180,6 +184,18 @@ class WindowQueryDriver {
     }
   }
 
+  // Batched window filter over a node's entries: hit indices, ascending —
+  // the same order as the scalar entry loop. Scratch is per simulated
+  // processor: the data-page loop holds the result across p.Sync(), where
+  // other processors' coroutines run their own filters.
+  std::span<const uint32_t> FilterEntries(size_t cpu, const RTreeNode& node) {
+    filter_batches_[cpu].AssignProjected(
+        node.entries,
+        [](const RTreeEntry& e) -> const Rect& { return e.rect; });
+    FilterIntersecting(filter_batches_[cpu], window_, &filter_hits_[cpu]);
+    return filter_hits_[cpu];
+  }
+
   void ExecuteTask(sim::Process& p, const PageTask& task) {
     const size_t cpu = static_cast<size_t>(p.id());
     const RTreeNode& node = FetchNode(p, task.page, task.level);
@@ -189,11 +205,9 @@ class WindowQueryDriver {
 
     if (task.level > 0) {
       std::vector<PageTask> children;
-      for (const RTreeEntry& entry : node.entries) {
-        if (entry.rect.Intersects(window_)) {
-          children.push_back(PageTask{entry.child_page(),
-                                      static_cast<int16_t>(task.level - 1)});
-        }
+      for (const uint32_t k : FilterEntries(cpu, node)) {
+        children.push_back(PageTask{node.entries[k].child_page(),
+                                    static_cast<int16_t>(task.level - 1)});
       }
       pool_.Push(p.id(), children);
       return;
@@ -202,10 +216,8 @@ class WindowQueryDriver {
     // Data page: every entry whose MBR intersects the window is a
     // candidate; the refinement test against the window geometry is
     // charged per the overlap-degree waiting-period model.
-    for (const RTreeEntry& entry : node.entries) {
-      if (!entry.rect.Intersects(window_)) {
-        continue;
-      }
+    for (const uint32_t k : FilterEntries(cpu, node)) {
+      const RTreeEntry& entry = node.entries[k];
       const sim::SimTime refine_cost =
           config_.costs.RefinementCost(entry.rect, window_);
       p.Advance(refine_cost);
@@ -257,6 +269,8 @@ class WindowQueryDriver {
   bool tasks_ready_ = false;
   TaskPool<PageTask> pool_;
   std::vector<PathBuffer> path_buffers_;
+  std::vector<RectBatch> filter_batches_;
+  std::vector<std::vector<uint32_t>> filter_hits_;
 
   std::vector<ProcessorStats> stats_;
   std::vector<std::vector<uint64_t>> candidate_ids_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "geo/rect.h"
+#include "geo/rect_batch.h"
 
 namespace psj {
 
@@ -18,8 +19,9 @@ std::vector<uint32_t> SortedOrderByXl(std::span<const Rect> rects);
 /// True iff `rects` is sorted ascending by xl.
 bool IsSortedByXl(std::span<const Rect> rects);
 
-/// \brief Plane-sweep rectangle intersection join over two x-sorted
-/// sequences (the paper's §2.2 algorithm, after [BKS 93]).
+/// \brief Scalar reference implementation of the plane-sweep rectangle
+/// intersection join over two x-sorted sequences (the paper's §2.2
+/// algorithm, after [BKS 93]).
 ///
 /// Both sequences must be sorted ascending by xl. The sweep-line moves over
 /// the union of the sequences in xl order; for each anchor rectangle the
@@ -29,17 +31,24 @@ bool IsSortedByXl(std::span<const Rect> rects);
 /// **local plane-sweep order**: the order that preserves spatial locality
 /// and determines the order in which pages are read from disk.
 ///
-/// No dynamic sweep structure is needed, matching the paper.
+/// This is the ground truth the batched kernels must reproduce
+/// bit-identically (same pairs, same order); it also serves as the baseline
+/// side of bench/micro_kernels. `y_tests`, when non-null, receives the exact
+/// number of y-extent tests performed. No dynamic sweep structure is needed,
+/// matching the paper.
 template <typename Callback>
-void PlaneSweepJoinSorted(std::span<const Rect> r, std::span<const Rect> s,
-                          Callback&& emit) {
+void PlaneSweepJoinSortedScalar(std::span<const Rect> r,
+                                std::span<const Rect> s, Callback&& emit,
+                                size_t* y_tests = nullptr) {
   size_t i = 0;
   size_t j = 0;
+  size_t tests = 0;
   while (i < r.size() && j < s.size()) {
     if (r[i].xl <= s[j].xl) {
       // r[i] is the anchor; scan s forward from j.
       const Rect& anchor = r[i];
       for (size_t l = j; l < s.size() && s[l].xl <= anchor.xu; ++l) {
+        ++tests;
         if (anchor.yl <= s[l].yu && s[l].yl <= anchor.yu) {
           emit(i, l);
         }
@@ -48,6 +57,7 @@ void PlaneSweepJoinSorted(std::span<const Rect> r, std::span<const Rect> s,
     } else {
       const Rect& anchor = s[j];
       for (size_t l = i; l < r.size() && r[l].xl <= anchor.xu; ++l) {
+        ++tests;
         if (anchor.yl <= r[l].yu && r[l].yl <= anchor.yu) {
           emit(l, j);
         }
@@ -55,31 +65,47 @@ void PlaneSweepJoinSorted(std::span<const Rect> r, std::span<const Rect> s,
       ++j;
     }
   }
+  if (y_tests != nullptr) *y_tests = tests;
 }
 
-/// Convenience wrapper over unsorted input: sorts both sides internally and
-/// emits pairs of indices into the *original* sequences, still in local
-/// plane-sweep order.
+/// \brief Plane-sweep join over two x-sorted sequences, batched.
+///
+/// Semantics are identical to PlaneSweepJoinSortedScalar — same pairs, same
+/// emission order, same y-test count — but the forward scan runs on SoA
+/// RectBatch kernels (see rect_batch.h), which is the wall-clock hot path.
+template <typename Callback>
+void PlaneSweepJoinSorted(std::span<const Rect> r, std::span<const Rect> s,
+                          Callback&& emit, size_t* y_tests = nullptr) {
+  thread_local RectBatch batch_r;
+  thread_local RectBatch batch_s;
+  thread_local std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  batch_r.Assign(r);
+  batch_s.Assign(s);
+  const size_t tests = PlaneSweepBatchSorted(batch_r, batch_s, &pairs,
+                                             [&](size_t i, size_t j) {
+                                               emit(i, j);
+                                             });
+  if (y_tests != nullptr) *y_tests = tests;
+}
+
+/// Convenience wrapper over unsorted input: sorts both sides internally
+/// (batched) and emits pairs of indices into the *original* sequences, still
+/// in local plane-sweep order.
 template <typename Callback>
 void PlaneSweepJoin(std::span<const Rect> r, std::span<const Rect> s,
                     Callback&& emit) {
-  const std::vector<uint32_t> r_order = SortedOrderByXl(r);
-  const std::vector<uint32_t> s_order = SortedOrderByXl(s);
-  std::vector<Rect> r_sorted(r.size());
-  std::vector<Rect> s_sorted(s.size());
-  for (size_t k = 0; k < r.size(); ++k) r_sorted[k] = r[r_order[k]];
-  for (size_t k = 0; k < s.size(); ++k) s_sorted[k] = s[s_order[k]];
-  PlaneSweepJoinSorted(std::span<const Rect>(r_sorted),
-                       std::span<const Rect>(s_sorted),
-                       [&](size_t i, size_t j) {
-                         emit(r_order[i], s_order[j]);
-                       });
+  thread_local SweepScratch scratch;
+  scratch.raw_r.Assign(r);
+  scratch.raw_s.Assign(s);
+  BatchSweepJoin(scratch, /*clip=*/nullptr,
+                 [&](size_t i, size_t j) { emit(i, j); });
 }
 
 /// \brief Plane-sweep join with the paper's *search-space restriction*
 /// (tuning technique (i) of §2.2): rectangles that do not intersect `clip`
 /// (normally the intersection of the two nodes' MBRs) cannot contribute a
-/// result pair and are dropped before sorting.
+/// result pair and are dropped before sorting — by the batched clip-filter
+/// kernel.
 ///
 /// Emits pairs of indices into the original sequences in local plane-sweep
 /// order. `considered_r`/`considered_s`, when non-null, receive the number
@@ -90,28 +116,13 @@ void RestrictedPlaneSweepJoin(std::span<const Rect> r,
                               Callback&& emit,
                               size_t* considered_r = nullptr,
                               size_t* considered_s = nullptr) {
-  std::vector<Rect> r_kept;
-  std::vector<Rect> s_kept;
-  std::vector<uint32_t> r_ids;
-  std::vector<uint32_t> s_ids;
-  r_kept.reserve(r.size());
-  s_kept.reserve(s.size());
-  for (size_t k = 0; k < r.size(); ++k) {
-    if (r[k].Intersects(clip)) {
-      r_kept.push_back(r[k]);
-      r_ids.push_back(static_cast<uint32_t>(k));
-    }
-  }
-  for (size_t k = 0; k < s.size(); ++k) {
-    if (s[k].Intersects(clip)) {
-      s_kept.push_back(s[k]);
-      s_ids.push_back(static_cast<uint32_t>(k));
-    }
-  }
-  if (considered_r != nullptr) *considered_r = r_kept.size();
-  if (considered_s != nullptr) *considered_s = s_kept.size();
-  PlaneSweepJoin(std::span<const Rect>(r_kept), std::span<const Rect>(s_kept),
-                 [&](size_t i, size_t j) { emit(r_ids[i], s_ids[j]); });
+  thread_local SweepScratch scratch;
+  scratch.raw_r.Assign(r);
+  scratch.raw_s.Assign(s);
+  BatchSweepJoin(scratch, &clip,
+                 [&](size_t i, size_t j) { emit(i, j); });
+  if (considered_r != nullptr) *considered_r = scratch.ids_r.size();
+  if (considered_s != nullptr) *considered_s = scratch.ids_s.size();
 }
 
 /// Reference O(|r|·|s|) nested-loop join; used in tests and as the ablation

@@ -1,76 +1,81 @@
 #include "join/node_match.h"
 
-#include <span>
-
-#include "geo/plane_sweep.h"
+#include "geo/rect_batch.h"
 
 namespace psj {
+namespace {
+
+// Loads both nodes' entry MBRs into the scratch input batches.
+void LoadEntryBatches(const RTreeNode& node_r, const RTreeNode& node_s,
+                      NodeMatchScratch& scratch) {
+  const auto rect_of = [](const RTreeEntry& e) -> const Rect& {
+    return e.rect;
+  };
+  scratch.raw_r.AssignProjected(node_r.entries, rect_of);
+  scratch.raw_s.AssignProjected(node_s.entries, rect_of);
+}
+
+}  // namespace
 
 std::vector<std::pair<uint32_t, uint32_t>> MatchNodeEntries(
     const RTreeNode& node_r, const RTreeNode& node_s,
-    const NodeMatchOptions& options, NodeMatchCounts* counts) {
+    const NodeMatchOptions& options, NodeMatchCounts* counts,
+    NodeMatchScratch* scratch) {
+  thread_local NodeMatchScratch shared_scratch;
+  NodeMatchScratch& sc = scratch != nullptr ? *scratch : shared_scratch;
   std::vector<std::pair<uint32_t, uint32_t>> result;
   NodeMatchCounts local_counts;
 
-  // Collect entry rectangles, applying the search-space restriction.
-  std::vector<Rect> rects_r;
-  std::vector<Rect> rects_s;
-  std::vector<uint32_t> ids_r;
-  std::vector<uint32_t> ids_s;
-  rects_r.reserve(node_r.entries.size());
-  rects_s.reserve(node_s.entries.size());
+  Rect clip;
   if (options.use_search_space_restriction) {
-    const Rect clip =
-        node_r.ComputeMbr().Intersection(node_s.ComputeMbr());
+    clip = node_r.ComputeMbr().Intersection(node_s.ComputeMbr());
     if (!clip.IsValid()) {
       if (counts != nullptr) *counts = local_counts;
       return result;
     }
-    for (uint32_t i = 0; i < node_r.entries.size(); ++i) {
-      if (node_r.entries[i].rect.Intersects(clip)) {
-        rects_r.push_back(node_r.entries[i].rect);
-        ids_r.push_back(i);
-      }
-    }
-    for (uint32_t j = 0; j < node_s.entries.size(); ++j) {
-      if (node_s.entries[j].rect.Intersects(clip)) {
-        rects_s.push_back(node_s.entries[j].rect);
-        ids_s.push_back(j);
-      }
-    }
-  } else {
-    for (uint32_t i = 0; i < node_r.entries.size(); ++i) {
-      rects_r.push_back(node_r.entries[i].rect);
-      ids_r.push_back(i);
-    }
-    for (uint32_t j = 0; j < node_s.entries.size(); ++j) {
-      rects_s.push_back(node_s.entries[j].rect);
-      ids_s.push_back(j);
-    }
   }
-  local_counts.entries_considered_r = rects_r.size();
-  local_counts.entries_considered_s = rects_s.size();
+  const Rect* clip_ptr =
+      options.use_search_space_restriction ? &clip : nullptr;
+  LoadEntryBatches(node_r, node_s, sc);
 
   if (options.use_plane_sweep) {
-    PlaneSweepJoin(std::span<const Rect>(rects_r),
-                   std::span<const Rect>(rects_s),
-                   [&](size_t i, size_t j) {
-                     result.emplace_back(ids_r[i], ids_s[j]);
-                   });
-    // The sweep performs roughly one y-test per pair whose x-extents
-    // overlap; approximate the tested-pair count by the emitted pairs plus
-    // the scan positions (a lower bound, adequate for CPU charging).
-    local_counts.pairs_tested =
-        result.size() + rects_r.size() + rects_s.size();
+    local_counts.pairs_tested = BatchSweepJoin(
+        sc, clip_ptr, [&](size_t i, size_t j) {
+          result.emplace_back(static_cast<uint32_t>(i),
+                              static_cast<uint32_t>(j));
+        });
+    local_counts.entries_considered_r = sc.ids_r.size();
+    local_counts.entries_considered_s = sc.ids_s.size();
   } else {
-    for (size_t i = 0; i < rects_r.size(); ++i) {
-      for (size_t j = 0; j < rects_s.size(); ++j) {
-        ++local_counts.pairs_tested;
-        if (rects_r[i].Intersects(rects_s[j])) {
-          result.emplace_back(ids_r[i], ids_s[j]);
-        }
+    // Nested-loop ablation baseline: every restricted pair is tested; the
+    // inner loop runs as the batched clip-filter kernel with the outer
+    // rectangle as the query.
+    const RectBatch* kept_r = &sc.raw_r;
+    const RectBatch* kept_s = &sc.raw_s;
+    if (clip_ptr != nullptr) {
+      FilterIntersecting(sc.raw_r, clip, &sc.ids_r);
+      FilterIntersecting(sc.raw_s, clip, &sc.ids_s);
+      sc.kept_r.AssignGather(sc.raw_r, sc.ids_r);
+      sc.kept_s.AssignGather(sc.raw_s, sc.ids_s);
+      kept_r = &sc.kept_r;
+      kept_s = &sc.kept_s;
+    }
+    const size_t nr = kept_r->size();
+    const size_t ns = kept_s->size();
+    for (size_t i = 0; i < nr; ++i) {
+      sc.hits.clear();
+      FilterIntersecting(*kept_s, kept_r->rect(i), &sc.hits);
+      const uint32_t orig_i = clip_ptr != nullptr
+                                  ? sc.ids_r[i]
+                                  : static_cast<uint32_t>(i);
+      for (const uint32_t j : sc.hits) {
+        result.emplace_back(orig_i,
+                            clip_ptr != nullptr ? sc.ids_s[j] : j);
       }
     }
+    local_counts.entries_considered_r = nr;
+    local_counts.entries_considered_s = ns;
+    local_counts.pairs_tested = nr * ns;
   }
   if (counts != nullptr) *counts = local_counts;
   return result;

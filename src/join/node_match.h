@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "geo/rect_batch.h"
 #include "rtree/node.h"
 
 namespace psj {
@@ -23,20 +24,28 @@ struct NodeMatchOptions {
 struct NodeMatchCounts {
   size_t entries_considered_r = 0;  // After the restriction.
   size_t entries_considered_s = 0;
-  size_t pairs_tested = 0;  // Rectangle comparisons performed.
+  /// Rectangle comparisons performed: the exact number of y-extent tests of
+  /// the sweep's forward scans (plane-sweep mode), or |r|·|s| full
+  /// intersection tests (nested-loop mode), over the restricted entry sets.
+  size_t pairs_tested = 0;
 };
 
+/// Reusable buffers for MatchNodeEntries; keep one per joiner and pass it to
+/// every call so the matching step performs no per-node-pair allocations.
+using NodeMatchScratch = SweepScratch;
+
 /// \brief Computes all pairs (index into `node_r`, index into `node_s`) of
-/// intersecting entries.
+/// intersecting entries, on the batched SoA kernels of rect_batch.h.
 ///
 /// With plane-sweep enabled the pairs come out in *local plane-sweep order*
 /// (§2.2), which determines the page read order that preserves spatial
 /// locality; with nested loops they come out in entry order. Both modes
-/// produce the same set of pairs.
+/// produce the same set of pairs. `scratch`, when non-null, supplies the
+/// working buffers (a shared thread-local is used otherwise).
 std::vector<std::pair<uint32_t, uint32_t>> MatchNodeEntries(
     const RTreeNode& node_r, const RTreeNode& node_s,
     const NodeMatchOptions& options = NodeMatchOptions(),
-    NodeMatchCounts* counts = nullptr);
+    NodeMatchCounts* counts = nullptr, NodeMatchScratch* scratch = nullptr);
 
 }  // namespace psj
 

@@ -45,7 +45,8 @@ class SequentialJoiner {
       return;
     }
     ++result_.node_pairs_processed;
-    const auto pairs = MatchNodeEntries(nr, ns, options_.match);
+    const auto pairs =
+        MatchNodeEntries(nr, ns, options_.match, nullptr, &match_scratch_);
     if (nr.is_leaf()) {
       for (const auto& [i, j] : pairs) {
         result_.candidates.emplace_back(nr.entries[i].object_id(),
@@ -72,6 +73,7 @@ class SequentialJoiner {
   const RStarTree& tree_s_;
   const SequentialJoinOptions& options_;
   SequentialJoinResult result_;
+  NodeMatchScratch match_scratch_;
 };
 
 }  // namespace

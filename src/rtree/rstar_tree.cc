@@ -6,6 +6,7 @@
 #include <queue>
 #include <limits>
 
+#include "geo/rect_batch.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -697,18 +698,23 @@ bool RStarTree::Delete(const Rect& rect, uint64_t oid) {
 std::vector<uint64_t> RStarTree::WindowQuery(const Rect& window) const {
   std::vector<uint64_t> result;
   std::vector<uint32_t> stack = {root_page_};
+  // Per-node entry filtering runs on the batched SoA clip kernel; the hit
+  // indices come back ascending, preserving the scalar traversal order.
+  thread_local RectBatch batch;
+  thread_local std::vector<uint32_t> hits;
   while (!stack.empty()) {
     const uint32_t page = stack.back();
     stack.pop_back();
     const RTreeNode& n = node(page);
-    for (const RTreeEntry& entry : n.entries) {
-      if (!entry.rect.Intersects(window)) {
-        continue;
-      }
+    batch.AssignProjected(n.entries, [](const RTreeEntry& e) -> const Rect& {
+      return e.rect;
+    });
+    FilterIntersecting(batch, window, &hits);
+    for (const uint32_t k : hits) {
       if (n.is_leaf()) {
-        result.push_back(entry.id);
+        result.push_back(n.entries[k].id);
       } else {
-        stack.push_back(entry.child_page());
+        stack.push_back(n.entries[k].child_page());
       }
     }
   }

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <span>
 
+#include "geo/plane_sweep.h"
 #include "join/node_match.h"
 #include "util/rng.h"
 
@@ -100,6 +103,43 @@ TEST(NodeMatchTest, SweepOutputIsInSweepOrder) {
         std::min(a.entries[i].rect.xl, b.entries[j].rect.xl);
     EXPECT_GE(anchor, last_anchor - 1e-12);
     last_anchor = std::max(last_anchor, anchor);
+  }
+}
+
+TEST(NodeMatchTest, SweepCountsExactYTests) {
+  // pairs_tested in plane-sweep mode must be the exact number of y-extent
+  // tests of the sweep's forward scans (it used to be approximated as
+  // result + |r| + |s|), computed here by replaying the scalar sweep over
+  // the restricted, sorted entry sets.
+  Rng rng(6);
+  const RTreeNode a = RandomNode(rng, 0, 40, 0.15);
+  const RTreeNode b = RandomNode(rng, 0, 40, 0.15);
+  for (bool restriction : {false, true}) {
+    NodeMatchOptions options;
+    options.use_search_space_restriction = restriction;
+    NodeMatchCounts counts;
+    MatchNodeEntries(a, b, options, &counts);
+
+    const Rect clip = a.ComputeMbr().Intersection(b.ComputeMbr());
+    std::vector<Rect> rects_r;
+    std::vector<Rect> rects_s;
+    for (const RTreeEntry& e : a.entries) {
+      if (!restriction || e.rect.Intersects(clip)) rects_r.push_back(e.rect);
+    }
+    for (const RTreeEntry& e : b.entries) {
+      if (!restriction || e.rect.Intersects(clip)) rects_s.push_back(e.rect);
+    }
+    std::stable_sort(rects_r.begin(), rects_r.end(),
+                     [](const Rect& x, const Rect& y) { return x.xl < y.xl; });
+    std::stable_sort(rects_s.begin(), rects_s.end(),
+                     [](const Rect& x, const Rect& y) { return x.xl < y.xl; });
+    size_t expected_tests = 0;
+    PlaneSweepJoinSortedScalar(std::span<const Rect>(rects_r),
+                               std::span<const Rect>(rects_s),
+                               [](size_t, size_t) {}, &expected_tests);
+    EXPECT_EQ(counts.pairs_tested, expected_tests)
+        << "restriction=" << restriction;
+    EXPECT_GT(counts.pairs_tested, 0u);
   }
 }
 
