@@ -135,6 +135,19 @@ const PaperWorkload& GetWorkload() {
   return *workload;
 }
 
+std::vector<JoinResult> RunJoinBatch(
+    const std::vector<ParallelJoinConfig>& configs) {
+  auto batch = GetWorkload().RunJoins(configs);
+  std::vector<JoinResult> results;
+  results.reserve(batch.size());
+  for (auto& result : batch) {
+    PSJ_CHECK(result.ok()) << "bench run failed: "
+                           << result.status().ToString();
+    results.push_back(std::move(result).value());
+  }
+  return results;
+}
+
 void PrintHeader(const char* artifact, const char* expectation) {
   std::printf("==============================================================="
               "=\n");

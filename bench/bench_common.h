@@ -54,6 +54,13 @@ double BenchScale();
 /// bench binaries skip the R*-tree construction.
 const PaperWorkload& GetWorkload();
 
+/// Runs `configs` over GetWorkload() concurrently on the parallel
+/// experiment driver (pool width: PSJ_EXPERIMENT_THREADS, default hardware
+/// concurrency) and returns the results in input order — bit-identical to
+/// running each config sequentially. Aborts the bench on a failed run.
+std::vector<JoinResult> RunJoinBatch(
+    const std::vector<ParallelJoinConfig>& configs);
+
 /// Prints the standard harness header: which paper artifact this
 /// reproduces and what qualitative shape to expect.
 void PrintHeader(const char* artifact, const char* expectation);

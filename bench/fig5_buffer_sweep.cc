@@ -5,6 +5,8 @@
 //   gd   = global buffer + dynamic task assignment
 // with 8 and 24 processors (d = n), task reassignment at the root level.
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "util/string_util.h"
@@ -22,26 +24,31 @@ ParallelJoinConfig VariantConfig(const char* name) {
 }
 
 void RunSweep(int processors) {
-  const PaperWorkload& workload = bench::GetWorkload();
   const size_t buffer_sizes[] = {200, 400, 800, 1600, 2400, 3200};
   const char* variants[] = {"lsr", "gsrr", "gd"};
 
-  std::printf("\n--- %d processors, %d disks ---\n", processors, processors);
-  std::printf("%-10s %10s %10s %10s\n", "buffer", "lsr", "gsrr", "gd");
+  // All runs of the sweep are independent: build the whole grid first and
+  // execute it on the parallel experiment driver.
+  std::vector<ParallelJoinConfig> configs;
   for (size_t buffer : buffer_sizes) {
-    std::printf("%-10zu", buffer);
     for (const char* variant : variants) {
       ParallelJoinConfig config = VariantConfig(variant);
       config.num_processors = processors;
       config.num_disks = processors;
       config.total_buffer_pages = buffer;
-      auto result = workload.RunJoin(config);
-      if (!result.ok()) {
-        std::printf(" %10s", "ERR");
-        continue;
-      }
+      configs.push_back(config);
+    }
+  }
+  const std::vector<JoinResult> results = bench::RunJoinBatch(configs);
+
+  std::printf("\n--- %d processors, %d disks ---\n", processors, processors);
+  std::printf("%-10s %10s %10s %10s\n", "buffer", "lsr", "gsrr", "gd");
+  size_t run = 0;
+  for (size_t buffer : buffer_sizes) {
+    std::printf("%-10zu", buffer);
+    for (size_t v = 0; v < std::size(variants); ++v) {
       std::printf(" %10s",
-                  FormatWithCommas(result->stats.total_disk_accesses)
+                  FormatWithCommas(results[run++].stats.total_disk_accesses)
                       .c_str());
     }
     std::printf("\n");

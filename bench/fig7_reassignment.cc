@@ -4,6 +4,7 @@
 // (3) all levels — for each of lsr, gsrr, gd. Buffer: 800 pages total,
 // 8 processors, 8 disks.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "util/string_util.h"
@@ -11,39 +12,27 @@
 namespace psj {
 namespace {
 
-void RunVariant(const char* name, ParallelJoinConfig base) {
-  const PaperWorkload& workload = bench::GetWorkload();
-  base.num_processors = 8;
-  base.num_disks = 8;
-  base.total_buffer_pages = 800;
+constexpr struct {
+  const char* label;
+  ReassignmentLevel level;
+} kLevels[] = {
+    {"none", ReassignmentLevel::kNone},
+    {"root", ReassignmentLevel::kRootLevel},
+    {"all", ReassignmentLevel::kAllLevels},
+};
 
+void PrintVariant(const char* name, const JoinResult* results) {
   std::printf("\n--- %s ---\n", name);
   std::printf("%-12s %12s %12s %12s %14s %14s\n", "reassign",
               "first (s)", "avg (s)", "last (s)", "disk accesses",
               "pairs moved");
-  const struct {
-    const char* label;
-    ReassignmentLevel level;
-  } variants[] = {
-      {"none", ReassignmentLevel::kNone},
-      {"root", ReassignmentLevel::kRootLevel},
-      {"all", ReassignmentLevel::kAllLevels},
-  };
-  for (const auto& variant : variants) {
-    ParallelJoinConfig config = base;
-    config.reassignment = variant.level;
-    auto result = workload.RunJoin(config);
-    if (!result.ok()) {
-      std::printf("%-12s ERROR %s\n", variant.label,
-                  result.status().ToString().c_str());
-      continue;
-    }
-    const JoinStats& stats = result->stats;
+  for (size_t i = 0; i < 3; ++i) {
+    const JoinStats& stats = results[i].stats;
     int64_t moved = 0;
     for (const auto& p : stats.per_processor) {
       moved += p.pairs_stolen;
     }
-    std::printf("%-12s %12s %12s %12s %14s %14s\n", variant.label,
+    std::printf("%-12s %12s %12s %12s %14s %14s\n", kLevels[i].label,
                 FormatMicrosAsSeconds(stats.first_finish).c_str(),
                 FormatMicrosAsSeconds(stats.avg_finish).c_str(),
                 FormatMicrosAsSeconds(stats.response_time).c_str(),
@@ -52,20 +41,42 @@ void RunVariant(const char* name, ParallelJoinConfig base) {
   }
 }
 
-}  // namespace
-}  // namespace psj
-
-int main() {
-  psj::bench::PrintHeader(
+int Main() {
+  bench::PrintHeader(
       "Figure 7: Performance with and without task reassignment "
       "(n = d = 8, buffer 800 pages)",
       "reassignment shrinks the first-to-last finish spread sharply for lsr "
       "and gsrr at a small disk-access cost; for gd, root-level "
       "reassignment changes nothing (work is already pulled task-by-task) "
       "and all-levels helps only a little");
-  psj::RunVariant("lsr (local + static range)", psj::ParallelJoinConfig::Lsr());
-  psj::RunVariant("gsrr (global + static round-robin)",
-                  psj::ParallelJoinConfig::Gsrr());
-  psj::RunVariant("gd (global + dynamic)", psj::ParallelJoinConfig::Gd());
+  const struct {
+    const char* name;
+    ParallelJoinConfig base;
+  } variants[] = {
+      {"lsr (local + static range)", ParallelJoinConfig::Lsr()},
+      {"gsrr (global + static round-robin)", ParallelJoinConfig::Gsrr()},
+      {"gd (global + dynamic)", ParallelJoinConfig::Gd()},
+  };
+  // The full 3x3 grid is independent: run it as one parallel batch.
+  std::vector<ParallelJoinConfig> configs;
+  for (const auto& variant : variants) {
+    for (const auto& level : kLevels) {
+      ParallelJoinConfig config = variant.base;
+      config.num_processors = 8;
+      config.num_disks = 8;
+      config.total_buffer_pages = 800;
+      config.reassignment = level.level;
+      configs.push_back(config);
+    }
+  }
+  const std::vector<JoinResult> results = bench::RunJoinBatch(configs);
+  for (size_t v = 0; v < 3; ++v) {
+    PrintVariant(variants[v].name, &results[v * 3]);
+  }
   return 0;
 }
+
+}  // namespace
+}  // namespace psj
+
+int main() { return psj::Main(); }

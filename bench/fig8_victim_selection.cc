@@ -3,6 +3,7 @@
 //   (b) an arbitrary processor (the proposal of [SN 93]).
 // 8 processors, 8 disks, buffer 800 pages, reassignment on all levels.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "util/string_util.h"
@@ -10,43 +11,52 @@
 namespace psj {
 namespace {
 
-void RunSeries(const char* name, ParallelJoinConfig base) {
-  const PaperWorkload& workload = bench::GetWorkload();
-  base.num_processors = 8;
-  base.num_disks = 8;
-  base.total_buffer_pages = 800;
-  base.reassignment = ReassignmentLevel::kAllLevels;
-
-  std::printf("%-38s", name);
-  for (VictimPolicy policy :
-       {VictimPolicy::kMostLoaded, VictimPolicy::kArbitrary}) {
-    ParallelJoinConfig config = base;
-    config.victim_policy = policy;
-    auto result = workload.RunJoin(config);
-    if (!result.ok()) {
-      std::printf(" %14s", "ERR");
-      continue;
+int Main() {
+  bench::PrintHeader(
+      "Figure 8: Victim selection for task reassignment (n = d = 8)",
+      "with local buffers, helping an arbitrary processor costs a few more "
+      "disk accesses than helping the most loaded one; with a global "
+      "buffer the two policies are nearly identical");
+  const struct {
+    const char* name;
+    ParallelJoinConfig base;
+  } variants[] = {
+      {"lsr (local + static range)", ParallelJoinConfig::Lsr()},
+      {"gsrr (global + static round-robin)", ParallelJoinConfig::Gsrr()},
+      {"gd (global + dynamic)", ParallelJoinConfig::Gd()},
+  };
+  // 3 variants x 2 victim policies, run as one parallel batch.
+  std::vector<ParallelJoinConfig> configs;
+  for (const auto& variant : variants) {
+    for (VictimPolicy policy :
+         {VictimPolicy::kMostLoaded, VictimPolicy::kArbitrary}) {
+      ParallelJoinConfig config = variant.base;
+      config.num_processors = 8;
+      config.num_disks = 8;
+      config.total_buffer_pages = 800;
+      config.reassignment = ReassignmentLevel::kAllLevels;
+      config.victim_policy = policy;
+      configs.push_back(config);
     }
-    std::printf(" %14s",
-                FormatWithCommas(result->stats.total_disk_accesses).c_str());
   }
-  std::printf("\n");
+  const std::vector<JoinResult> results = bench::RunJoinBatch(configs);
+
+  std::printf("%-38s %14s %14s\n", "variant", "a: most-loaded",
+              "b: arbitrary");
+  size_t run = 0;
+  for (const auto& variant : variants) {
+    std::printf("%-38s", variant.name);
+    for (int p = 0; p < 2; ++p) {
+      std::printf(
+          " %14s",
+          FormatWithCommas(results[run++].stats.total_disk_accesses).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace psj
 
-int main() {
-  psj::bench::PrintHeader(
-      "Figure 8: Victim selection for task reassignment (n = d = 8)",
-      "with local buffers, helping an arbitrary processor costs a few more "
-      "disk accesses than helping the most loaded one; with a global "
-      "buffer the two policies are nearly identical");
-  std::printf("%-38s %14s %14s\n", "variant", "a: most-loaded",
-              "b: arbitrary");
-  psj::RunSeries("lsr (local + static range)", psj::ParallelJoinConfig::Lsr());
-  psj::RunSeries("gsrr (global + static round-robin)",
-                 psj::ParallelJoinConfig::Gsrr());
-  psj::RunSeries("gd (global + dynamic)", psj::ParallelJoinConfig::Gd());
-  return 0;
-}
+int main() { return psj::Main(); }

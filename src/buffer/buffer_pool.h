@@ -42,6 +42,9 @@ struct BufferAccessStats {
   int64_t total_accesses() const {
     return local_hits + remote_hits + disk_reads;
   }
+
+  friend bool operator==(const BufferAccessStats&,
+                         const BufferAccessStats&) = default;
 };
 
 /// \brief Abstract page-fetch service shared by the join executors.

@@ -1,6 +1,10 @@
 #include "core/experiment.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <thread>
 
 #include "join/node_match.h"
 #include "storage/page_file.h"
@@ -85,6 +89,57 @@ StatusOr<JoinResult> PaperWorkload::RunJoin(
     const ParallelJoinConfig& config) const {
   ParallelSpatialJoin join(&tree_r_, &tree_s_, &store_r_, &store_s_);
   return join.Run(config);
+}
+
+std::vector<StatusOr<JoinResult>> PaperWorkload::RunJoins(
+    const std::vector<ParallelJoinConfig>& configs, int num_threads) const {
+  const ParallelSpatialJoin join(&tree_r_, &tree_s_, &store_r_, &store_s_);
+  return ExperimentDriver(num_threads).RunAll(join, configs);
+}
+
+ExperimentDriver::ExperimentDriver(int num_threads)
+    : num_threads_(num_threads > 0 ? num_threads : DefaultNumThreads()) {}
+
+int ExperimentDriver::DefaultNumThreads() {
+  const char* env = std::getenv("PSJ_EXPERIMENT_THREADS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<StatusOr<JoinResult>> ExperimentDriver::RunAll(
+    const ParallelSpatialJoin& join,
+    const std::vector<ParallelJoinConfig>& configs) const {
+  std::vector<StatusOr<JoinResult>> results(
+      configs.size(),
+      StatusOr<JoinResult>(Status::Internal("experiment did not run")));
+  std::atomic<size_t> next{0};
+  const auto worker = [&join, &configs, &results, &next] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= configs.size()) {
+        return;
+      }
+      results[i] = join.Run(configs[i]);
+    }
+  };
+  const int helpers =
+      std::min(num_threads_, static_cast<int>(configs.size())) - 1;
+  std::vector<std::thread> pool;
+  pool.reserve(helpers > 0 ? static_cast<size_t>(helpers) : 0);
+  for (int i = 0; i < helpers; ++i) {
+    pool.emplace_back(worker);
+  }
+  worker();  // The calling thread participates in the pool.
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return results;
 }
 
 std::string PaperWorkload::DescribeTrees() const {

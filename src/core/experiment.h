@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/parallel_join.h"
 #include "util/statusor.h"
@@ -55,6 +56,13 @@ class PaperWorkload {
   /// Runs one parallel join over this workload.
   StatusOr<JoinResult> RunJoin(const ParallelJoinConfig& config) const;
 
+  /// Runs a batch of independent joins over this workload concurrently on
+  /// the parallel experiment driver (see ExperimentDriver); results come
+  /// back in input order. `num_threads <= 0` picks the driver default.
+  std::vector<StatusOr<JoinResult>> RunJoins(
+      const std::vector<ParallelJoinConfig>& configs,
+      int num_threads = 0) const;
+
   /// Multi-line Table 1-style description of both trees.
   std::string DescribeTrees() const;
 
@@ -70,6 +78,39 @@ class PaperWorkload {
   ObjectStore store_s_;
   RStarTree tree_r_;
   RStarTree tree_s_;
+};
+
+/// \brief Parallel experiment driver: a small thread pool that executes
+/// mutually independent simulated joins concurrently over a shared const
+/// workload.
+///
+/// The paper's figures are parameter sweeps — dozens of
+/// ParallelSpatialJoin::Run() calls that differ only in configuration.
+/// Each run is a self-contained deterministic simulation (its own
+/// scheduler, disk array and buffer pool; the trees and object stores are
+/// only read), so the sweep parallelizes perfectly: results are
+/// bit-identical to sequential execution, in input order, regardless of
+/// pool width or completion order.
+class ExperimentDriver {
+ public:
+  /// `num_threads <= 0` resolves to DefaultNumThreads().
+  explicit ExperimentDriver(int num_threads = 0);
+
+  /// Worker threads used by RunAll (at most one per config).
+  int num_threads() const { return num_threads_; }
+
+  /// PSJ_EXPERIMENT_THREADS from the environment if positive, otherwise
+  /// the hardware concurrency (at least 1).
+  static int DefaultNumThreads();
+
+  /// Runs every config through `join.Run()` on the pool. The caller's
+  /// thread participates, so RunAll(join, {c}) adds no thread overhead.
+  std::vector<StatusOr<JoinResult>> RunAll(
+      const ParallelSpatialJoin& join,
+      const std::vector<ParallelJoinConfig>& configs) const;
+
+ private:
+  int num_threads_;
 };
 
 }  // namespace psj

@@ -7,6 +7,7 @@
 
 #include "core/cost_model.h"
 #include "core/placement.h"
+#include "sim/simulation.h"
 #include "util/status.h"
 
 namespace psj {
@@ -92,6 +93,12 @@ struct ParallelJoinConfig {
 
   /// Seed for the arbitrary victim policy.
   uint64_t seed = 7;
+
+  /// Execution substrate of the simulated processors (fiber vs OS thread).
+  /// Purely a wall-clock choice: every virtual-time statistic is
+  /// backend-invariant (the determinism suite asserts bit-identical
+  /// results).
+  sim::SchedulerBackend scheduler_backend = sim::SchedulerBackend::kDefault;
 
   /// Convenience constructors for the paper's variants.
   static ParallelJoinConfig Lsr();

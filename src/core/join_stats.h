@@ -39,6 +39,9 @@ struct ProcessorStats {
   int64_t pairs_given = 0;            // Handed away via reassignment.
 
   BufferAccessStats buffer;
+
+  friend bool operator==(const ProcessorStats&,
+                         const ProcessorStats&) = default;
 };
 
 /// Aggregate results of one parallel join run.
@@ -74,6 +77,10 @@ struct JoinStats {
 
   /// Multi-line human-readable summary.
   std::string Summary() const;
+
+  /// Field-by-field equality — the determinism suite's definition of
+  /// "bit-identical results".
+  friend bool operator==(const JoinStats&, const JoinStats&) = default;
 };
 
 /// Complete result of a parallel spatial join.
@@ -85,6 +92,8 @@ struct JoinResult {
   /// Answer pairs (refinement-step output); only populated when both
   /// collect_pairs and compute_answers are set.
   std::vector<std::pair<uint64_t, uint64_t>> answer_pairs;
+
+  friend bool operator==(const JoinResult&, const JoinResult&) = default;
 };
 
 }  // namespace psj

@@ -37,6 +37,7 @@ class WindowQueryDriver {
         objects_(objects),
         window_(window),
         config_(config),
+        scheduler_(config.scheduler_backend),
         disks_(config.num_disks, config.costs.disk),
         pool_(config.num_processors, tree.height(), config.costs,
               config.seed) {

@@ -42,6 +42,10 @@ struct WindowQueryConfig {
 
   uint64_t seed = 7;
 
+  /// Execution substrate of the simulated processors; virtual-time results
+  /// are backend-invariant.
+  sim::SchedulerBackend scheduler_backend = sim::SchedulerBackend::kDefault;
+
   Status Validate() const;
 };
 

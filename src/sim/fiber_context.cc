@@ -1,0 +1,212 @@
+#include "sim/fiber_context.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+// Backend selection. PSJ_HAS_FIBERS is defined by CMake except in sanitizer
+// builds (ASan/TSan/MSan assume each stack belongs to one OS thread; running
+// simulation code on foreign stacks would trip their shadow bookkeeping).
+// On x86-64 we use a syscall-free assembly switch; other POSIX platforms use
+// <ucontext.h>, whose swapcontext also saves/restores the signal mask (two
+// sigprocmask syscalls per switch) but still avoids a scheduler roundtrip.
+#if defined(PSJ_HAS_FIBERS) && defined(__x86_64__) && defined(__linux__)
+#define PSJ_FIBER_IMPL_ASM_X86_64 1
+#elif defined(PSJ_HAS_FIBERS) && defined(__unix__)
+#define PSJ_FIBER_IMPL_UCONTEXT 1
+#endif
+
+#if defined(PSJ_FIBER_IMPL_UCONTEXT)
+#include <ucontext.h>
+#endif
+
+namespace psj::sim {
+
+namespace {
+
+size_t StackSizeFromEnv() {
+  const char* env = std::getenv("PSJ_SIM_STACK_KB");
+  if (env != nullptr) {
+    const long kb = std::atol(env);
+    if (kb >= 64) {
+      return static_cast<size_t>(kb) * 1024;
+    }
+  }
+  return 256 * 1024;
+}
+
+}  // namespace
+
+size_t FiberContext::DefaultStackSize() {
+  static const size_t size = StackSizeFromEnv();
+  return size;
+}
+
+#if defined(PSJ_FIBER_IMPL_ASM_X86_64)
+
+// void psj_fiber_swap(void** from_sp, void* to_sp)
+//
+// Saves the callee-saved registers of the System V AMD64 ABI plus the stack
+// pointer of the calling context into *from_sp, installs to_sp and restores
+// the target's registers. The return address on the target stack decides
+// where execution continues (either inside a previous psj_fiber_swap call
+// or, for a fresh fiber, at psj_fiber_entry_thunk).
+extern "C" void psj_fiber_swap(void** from_sp, void* to_sp);
+
+// First activation target of a fresh fiber: the fiber's bootstrap frame
+// parks the Impl pointer in the r12 slot; the thunk moves it into the first
+// argument register and tail-jumps into C++ (so the C++ entry observes the
+// ABI-mandated stack alignment of a normal call).
+extern "C" void psj_fiber_entry_thunk();
+extern "C" void psj_fiber_run_entry(void* impl);
+
+asm(R"(
+.text
+.globl psj_fiber_swap
+.type psj_fiber_swap, @function
+.align 16
+psj_fiber_swap:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  ret
+.size psj_fiber_swap, .-psj_fiber_swap
+
+.globl psj_fiber_entry_thunk
+.type psj_fiber_entry_thunk, @function
+.align 16
+psj_fiber_entry_thunk:
+  movq %r12, %rdi
+  jmp psj_fiber_run_entry
+.size psj_fiber_entry_thunk, .-psj_fiber_entry_thunk
+)");
+
+struct FiberContext::Impl {
+  void* sp = nullptr;            // Saved stack pointer while suspended.
+  std::unique_ptr<char[]> stack;  // Owned stack; null for the main context.
+  void (*entry)(void*) = nullptr;
+  void* arg = nullptr;
+};
+
+extern "C" void psj_fiber_run_entry(void* impl_erased) {
+  auto* impl = static_cast<FiberContext::Impl*>(impl_erased);
+  impl->entry(impl->arg);
+  PSJ_CHECK(false) << "fiber entry function returned";
+}
+
+FiberContext::FiberContext() : impl_(new Impl) {}
+
+FiberContext::FiberContext(size_t stack_size, void (*entry)(void*), void* arg)
+    : impl_(new Impl) {
+  PSJ_CHECK_GE(stack_size, static_cast<size_t>(4096));
+  impl_->stack.reset(new char[stack_size]);
+  impl_->entry = entry;
+  impl_->arg = arg;
+  // Bootstrap frame, mirroring what psj_fiber_swap expects to pop: six
+  // callee-saved register slots (r15 lowest) topped by the return address
+  // plus one padding slot. After the restore sequence pops the six
+  // registers and `ret` consumes the return address, rsp % 16 == 8 — the
+  // System V alignment at a function entry (as just after a call
+  // instruction), which vector spills in the fiber body rely on.
+  uintptr_t top = reinterpret_cast<uintptr_t>(impl_->stack.get()) + stack_size;
+  top &= ~static_cast<uintptr_t>(15);
+  auto* frame = reinterpret_cast<void**>(top) - 8;
+  frame[0] = nullptr;      // r15
+  frame[1] = nullptr;      // r14
+  frame[2] = nullptr;      // r13
+  frame[3] = impl_.get();  // r12 — carries the Impl* to the thunk.
+  frame[4] = nullptr;      // rbx
+  frame[5] = nullptr;      // rbp
+  frame[6] = reinterpret_cast<void*>(&psj_fiber_entry_thunk);
+  frame[7] = nullptr;      // Padding: keeps the entry alignment correct.
+  impl_->sp = frame;
+}
+
+FiberContext::~FiberContext() = default;
+
+void FiberContext::SwitchTo(FiberContext& to) {
+  psj_fiber_swap(&impl_->sp, to.impl_->sp);
+}
+
+bool FiberContext::Supported() { return true; }
+
+#elif defined(PSJ_FIBER_IMPL_UCONTEXT)
+
+struct FiberContext::Impl {
+  ucontext_t ctx;
+  std::unique_ptr<char[]> stack;
+  void (*entry)(void*) = nullptr;
+  void* arg = nullptr;
+};
+
+namespace {
+
+// makecontext only passes int arguments portably; split the pointer.
+void UcontextTrampoline(unsigned hi, unsigned lo) {
+  const uintptr_t bits =
+      (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo);
+  auto* impl = reinterpret_cast<FiberContext::Impl*>(bits);
+  impl->entry(impl->arg);
+  PSJ_CHECK(false) << "fiber entry function returned";
+}
+
+}  // namespace
+
+FiberContext::FiberContext() : impl_(new Impl) {}
+
+FiberContext::FiberContext(size_t stack_size, void (*entry)(void*), void* arg)
+    : impl_(new Impl) {
+  impl_->stack.reset(new char[stack_size]);
+  impl_->entry = entry;
+  impl_->arg = arg;
+  PSJ_CHECK(getcontext(&impl_->ctx) == 0);
+  impl_->ctx.uc_stack.ss_sp = impl_->stack.get();
+  impl_->ctx.uc_stack.ss_size = stack_size;
+  impl_->ctx.uc_link = nullptr;
+  const uintptr_t bits = reinterpret_cast<uintptr_t>(impl_.get());
+  makecontext(&impl_->ctx, reinterpret_cast<void (*)()>(&UcontextTrampoline),
+              2, static_cast<unsigned>(bits >> 32),
+              static_cast<unsigned>(bits & 0xffffffffu));
+}
+
+FiberContext::~FiberContext() = default;
+
+void FiberContext::SwitchTo(FiberContext& to) {
+  PSJ_CHECK(swapcontext(&impl_->ctx, &to.impl_->ctx) == 0);
+}
+
+bool FiberContext::Supported() { return true; }
+
+#else  // No fiber implementation in this build.
+
+struct FiberContext::Impl {};
+
+FiberContext::FiberContext() = default;
+
+FiberContext::FiberContext(size_t, void (*)(void*), void*) {
+  PSJ_CHECK(false) << "fiber backend not available in this build "
+                      "(sanitizers or unsupported platform)";
+}
+
+FiberContext::~FiberContext() = default;
+
+void FiberContext::SwitchTo(FiberContext&) {
+  PSJ_CHECK(false) << "fiber backend not available in this build";
+}
+
+bool FiberContext::Supported() { return false; }
+
+#endif
+
+}  // namespace psj::sim

@@ -1,13 +1,57 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace psj::sim {
+
+namespace {
+
+std::string_view StateName(Process::State state) {
+  switch (state) {
+    case Process::State::kCreated:
+      return "created";
+    case Process::State::kReady:
+      return "ready";
+    case Process::State::kRunning:
+      return "running";
+    case Process::State::kBlocked:
+      return "blocked";
+    case Process::State::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string_view ToString(SchedulerBackend backend) {
+  switch (backend) {
+    case SchedulerBackend::kDefault:
+      return "default";
+    case SchedulerBackend::kThread:
+      return "thread";
+    case SchedulerBackend::kFiber:
+      return "fiber";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
 
 Process::Process(Scheduler* scheduler, int id,
                  std::function<void(Process&)> body)
     : scheduler_(scheduler), id_(id), body_(std::move(body)) {
-  thread_ = std::thread([this] { ThreadMain(); });
+  if (scheduler_->backend_ == SchedulerBackend::kFiber) {
+    fiber_ = std::make_unique<FiberContext>(FiberContext::DefaultStackSize(),
+                                            &Process::FiberEntry, this);
+  } else {
+    thread_ = std::thread([this] { ThreadMain(); });
+  }
 }
 
 void Process::ThreadMain() {
@@ -21,16 +65,50 @@ void Process::ThreadMain() {
   {
     std::unique_lock<std::mutex> lock(scheduler_->mu_);
     state_ = State::kFinished;
+    --scheduler_->num_live_;
     scheduler_->EnterScheduler(lock);
   }
+}
+
+void Process::FiberEntry(void* self) {
+  static_cast<Process*>(self)->FiberBody();
+}
+
+void Process::FiberBody() {
+  // Entered on the first dispatch: the scheduler already marked this
+  // process running.
+  now_ = resume_time_;
+  body_(*this);
+  state_ = State::kFinished;
+  --scheduler_->num_live_;
+  scheduler_->FiberDispatchFrom(this);
+  PSJ_CHECK(false) << "finished process " << id_ << " was dispatched again";
 }
 
 void Process::YieldUntil(SimTime t) {
   PSJ_CHECK(state_ == State::kRunning)
       << "sim primitive called outside the running process";
+  t = std::max(now_, t);
+  if (scheduler_->backend_ == SchedulerBackend::kFiber) {
+    if (scheduler_->FastPathYield(this, t)) {
+      now_ = t;
+      return;
+    }
+    resume_time_ = t;
+    state_ = State::kReady;
+    scheduler_->PushReady(this);
+    scheduler_->FiberDispatchFrom(this);
+    now_ = resume_time_;
+    return;
+  }
   std::unique_lock<std::mutex> lock(scheduler_->mu_);
-  resume_time_ = std::max(now_, t);
+  if (scheduler_->FastPathYield(this, t)) {
+    now_ = t;
+    return;
+  }
+  resume_time_ = t;
   state_ = State::kReady;
+  scheduler_->PushReady(this);
   scheduler_->EnterScheduler(lock);
   cv_.wait(lock, [this] { return state_ == State::kRunning; });
   now_ = resume_time_;
@@ -39,6 +117,12 @@ void Process::YieldUntil(SimTime t) {
 SimTime Process::Block() {
   PSJ_CHECK(state_ == State::kRunning)
       << "sim primitive called outside the running process";
+  if (scheduler_->backend_ == SchedulerBackend::kFiber) {
+    state_ = State::kBlocked;
+    scheduler_->FiberDispatchFrom(this);
+    now_ = resume_time_;
+    return now_;
+  }
   std::unique_lock<std::mutex> lock(scheduler_->mu_);
   state_ = State::kBlocked;
   scheduler_->EnterScheduler(lock);
@@ -48,6 +132,15 @@ SimTime Process::Block() {
 }
 
 bool Process::MakeReadyIfBlocked(SimTime t) {
+  if (scheduler_->backend_ == SchedulerBackend::kFiber) {
+    if (state_ != State::kBlocked) {
+      return false;
+    }
+    state_ = State::kReady;
+    resume_time_ = std::max(now_, t);
+    scheduler_->PushReady(this);
+    return true;
+  }
   // Although only the single running process mutates scheduler state, the
   // blocked target thread re-evaluates its condition-variable predicate
   // under the scheduler mutex, so the state transition must hold it too.
@@ -57,8 +150,16 @@ bool Process::MakeReadyIfBlocked(SimTime t) {
   }
   state_ = State::kReady;
   resume_time_ = std::max(now_, t);
+  scheduler_->PushReady(this);
   return true;
 }
+
+// ---------------------------------------------------------------------------
+// Scheduler — backend-independent ready-heap core
+// ---------------------------------------------------------------------------
+
+Scheduler::Scheduler(SchedulerBackend backend)
+    : backend_(ResolveBackend(backend)) {}
 
 Scheduler::~Scheduler() {
   for (auto& process : processes_) {
@@ -68,19 +169,140 @@ Scheduler::~Scheduler() {
   }
 }
 
+SchedulerBackend Scheduler::ResolveBackend(SchedulerBackend requested) {
+  if (requested == SchedulerBackend::kThread) {
+    return requested;
+  }
+  if (requested == SchedulerBackend::kFiber) {
+    PSJ_CHECK(FiberContext::Supported())
+        << "fiber scheduler backend requested but not available in this "
+           "build (sanitizers disable it; set PSJ_ENABLE_FIBERS=ON)";
+    return requested;
+  }
+  const char* env = std::getenv("PSJ_SIM_BACKEND");
+  if (env != nullptr) {
+    if (std::strcmp(env, "thread") == 0) {
+      return SchedulerBackend::kThread;
+    }
+    if (std::strcmp(env, "fiber") == 0) {
+      if (FiberContext::Supported()) {
+        return SchedulerBackend::kFiber;
+      }
+      static bool warned = [] {
+        std::fprintf(stderr,
+                     "[sim] PSJ_SIM_BACKEND=fiber but this build has no "
+                     "fiber support; using the thread backend\n");
+        return true;
+      }();
+      (void)warned;
+      return SchedulerBackend::kThread;
+    }
+    std::fprintf(stderr, "[sim] ignoring unknown PSJ_SIM_BACKEND=%s\n", env);
+  }
+  return FiberContext::Supported() ? SchedulerBackend::kFiber
+                                   : SchedulerBackend::kThread;
+}
+
+bool Scheduler::FastPathYield(const Process* p, SimTime t) {
+  if (!ready_heap_.empty()) {
+    const Process* top = ready_heap_.front();
+    if (top->resume_time_ < t ||
+        (top->resume_time_ == t && top->id_ < p->id_)) {
+      return false;  // Another ready process precedes (t, p->id).
+    }
+  }
+  ++num_fast_path_yields_;
+  return true;
+}
+
+void Scheduler::PushReady(Process* p) {
+  PSJ_CHECK(p->state_ == Process::State::kReady);
+  ready_heap_.push_back(p);
+  std::push_heap(ready_heap_.begin(), ready_heap_.end(),
+                 [](const Process* a, const Process* b) {
+                   if (a->resume_time_ != b->resume_time_) {
+                     return a->resume_time_ > b->resume_time_;
+                   }
+                   return a->id_ > b->id_;
+                 });
+}
+
+Process* Scheduler::TakeNextReady() {
+  std::pop_heap(ready_heap_.begin(), ready_heap_.end(),
+                [](const Process* a, const Process* b) {
+                  if (a->resume_time_ != b->resume_time_) {
+                    return a->resume_time_ > b->resume_time_;
+                  }
+                  return a->id_ > b->id_;
+                });
+  Process* next = ready_heap_.back();
+  ready_heap_.pop_back();
+  // Only kReady processes ever enter the heap; in particular a finished
+  // process can never be re-examined or re-selected.
+  PSJ_CHECK(next->state_ == Process::State::kReady)
+      << "scheduler dispatched process " << next->id_ << " in state "
+      << StateName(next->state_);
+  next->state_ = Process::State::kRunning;
+  running_ = next;
+  ++num_dispatches_;
+  return next;
+}
+
+std::string Scheduler::DescribeLiveProcesses() const {
+  std::string out;
+  for (const auto& process : processes_) {
+    if (process->state_ == Process::State::kFinished) {
+      continue;
+    }
+    out += "  process ";
+    out += std::to_string(process->id_);
+    out += ": state=";
+    out += StateName(process->state_);
+    out += " now=";
+    out += std::to_string(process->now_);
+    out += " resume_time=";
+    out += std::to_string(process->resume_time_);
+    out += '\n';
+  }
+  return out;
+}
+
 Process* Scheduler::Spawn(std::function<void(Process&)> body) {
   PSJ_CHECK(!started_) << "Spawn() after Run() is not supported";
   const int id = static_cast<int>(processes_.size());
   processes_.push_back(
       std::unique_ptr<Process>(new Process(this, id, std::move(body))));
   Process* p = processes_.back().get();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    p->state_ = Process::State::kReady;
-    p->resume_time_ = 0;
+  // The thread backend's freshly started process thread reads state_ under
+  // the scheduler mutex; the fiber backend is single-threaded.
+  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  if (backend_ == SchedulerBackend::kThread) {
+    lock.lock();
   }
+  p->state_ = Process::State::kReady;
+  p->resume_time_ = 0;
+  PushReady(p);
+  ++num_live_;
   return p;
 }
+
+void Scheduler::Run() {
+  PSJ_CHECK(!started_) << "Run() may only be called once";
+  started_ = true;
+  if (backend_ == SchedulerBackend::kFiber) {
+    RunFiberBackend();
+  } else {
+    RunThreadBackend();
+  }
+  end_time_ = 0;
+  for (auto& process : processes_) {
+    end_time_ = std::max(end_time_, process->now_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread backend
+// ---------------------------------------------------------------------------
 
 void Scheduler::EnterScheduler(std::unique_lock<std::mutex>& lock) {
   running_ = nullptr;
@@ -89,43 +311,56 @@ void Scheduler::EnterScheduler(std::unique_lock<std::mutex>& lock) {
                // running_ == nullptr under it.
 }
 
-void Scheduler::Run() {
-  PSJ_CHECK(!started_) << "Run() may only be called once";
-  started_ = true;
+void Scheduler::RunThreadBackend() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    // Pick the ready process with minimal (resume_time, id).
-    Process* next = nullptr;
-    bool any_live = false;
-    for (auto& candidate : processes_) {
-      if (candidate->state_ == Process::State::kFinished) {
-        continue;
-      }
-      any_live = true;
-      if (candidate->state_ != Process::State::kReady) {
-        continue;
-      }
-      if (next == nullptr || candidate->resume_time_ < next->resume_time_ ||
-          (candidate->resume_time_ == next->resume_time_ &&
-           candidate->id_ < next->id_)) {
-        next = candidate.get();
-      }
-    }
-    if (!any_live) {
+    if (num_live_ == 0) {
       break;  // All processes finished.
     }
-    PSJ_CHECK(next != nullptr)
-        << "simulation deadlock: live processes exist but none is ready";
-    next->state_ = Process::State::kRunning;
-    running_ = next;
+    PSJ_CHECK(!ready_heap_.empty())
+        << "simulation deadlock: live processes exist but none is ready\n"
+        << DescribeLiveProcesses();
+    Process* next = TakeNextReady();
     next->cv_.notify_one();
     cv_.wait(lock, [this] { return running_ == nullptr; });
   }
-  end_time_ = 0;
-  for (auto& process : processes_) {
-    end_time_ = std::max(end_time_, process->now_);
+}
+
+// ---------------------------------------------------------------------------
+// Fiber backend
+// ---------------------------------------------------------------------------
+
+void Scheduler::RunFiberBackend() {
+  for (;;) {
+    if (num_live_ == 0) {
+      break;  // All processes finished.
+    }
+    PSJ_CHECK(!ready_heap_.empty())
+        << "simulation deadlock: live processes exist but none is ready\n"
+        << DescribeLiveProcesses();
+    Process* next = TakeNextReady();
+    main_context_.SwitchTo(*next->fiber_);
+    // A fiber switched back: either everything finished or nothing is
+    // ready (completion or deadlock) — the loop re-checks.
   }
 }
+
+void Scheduler::FiberDispatchFrom(Process* self) {
+  if (ready_heap_.empty()) {
+    // Nothing to hand off to: return to Run()'s context, which either
+    // terminates (no live processes) or reports the deadlock.
+    running_ = nullptr;
+    self->fiber_->SwitchTo(main_context_);
+  } else {
+    Process* next = TakeNextReady();
+    self->fiber_->SwitchTo(*next->fiber_);
+  }
+  // Resumed: whoever dispatched us already marked this process running.
+}
+
+// ---------------------------------------------------------------------------
+// Resource
+// ---------------------------------------------------------------------------
 
 void Resource::Use(Process& p, SimTime duration) {
   PSJ_CHECK_GE(duration, 0);

@@ -9,9 +9,11 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "sim/fiber_context.h"
 #include "util/check.h"
 
 namespace psj::sim {
@@ -27,14 +29,31 @@ constexpr SimTime kSecond = 1'000'000;
 
 class Scheduler;
 
+/// Execution substrate of the simulated processors. Virtual-time semantics
+/// are identical across backends (the dispatch order is a pure function of
+/// the (resume_time, id) ready heap); only the wall-clock cost of a handoff
+/// differs.
+enum class SchedulerBackend {
+  /// Resolve via PSJ_SIM_BACKEND ("fiber"/"thread"), else prefer fibers
+  /// when the build carries them.
+  kDefault,
+  /// One OS thread per process, mutex + condition-variable handoffs. Slow
+  /// (two kernel context switches per yield) but visible to ASan/TSan.
+  kThread,
+  /// Stackful user-mode fibers, direct user-space handoffs. Requires a
+  /// build with PSJ_ENABLE_FIBERS (off under sanitizers).
+  kFiber,
+};
+
+std::string_view ToString(SchedulerBackend backend);
+
 /// \brief A logical process (one simulated KSR1 processor) driven by the
 /// Scheduler in virtual-time order.
 ///
-/// Each process is backed by a dedicated OS thread, but the Scheduler lets
-/// exactly one process run at a time — the one with the smallest virtual
-/// clock — so the simulation is deterministic and shared C++ data structures
-/// (the shared virtual memory of the paper's platform) can be accessed
-/// without data races.
+/// The Scheduler lets exactly one process run at a time — the one with the
+/// smallest virtual clock — so the simulation is deterministic and shared
+/// C++ data structures (the shared virtual memory of the paper's platform)
+/// can be accessed without data races.
 ///
 /// A process accumulates CPU cost locally via Advance() without yielding
 /// (*lookahead*); it must interact with shared simulation objects only
@@ -61,7 +80,10 @@ class Process {
 
   /// Yields to the scheduler so that every process with an earlier clock
   /// runs first. Call (or use a primitive that calls it) before touching
-  /// shared simulation state.
+  /// shared simulation state. When this process already holds the minimal
+  /// (clock, id) among the ready set, the handoff is elided entirely — the
+  /// scheduler would select it again immediately, so continuing inline
+  /// preserves the schedule.
   void Sync() { YieldUntil(now_); }
 
   /// Advances the clock to max(now, t), yielding so earlier processes run.
@@ -89,12 +111,14 @@ class Process {
 
   Process(Scheduler* scheduler, int id, std::function<void(Process&)> body);
 
-  /// Parks this process with resume time `t` and hands control back to the
-  /// scheduler; returns when the scheduler selects it again, with
+  /// Parks this process with resume time `t` and hands control to the next
+  /// ready process (or the scheduler); returns when selected again, with
   /// now_ == resume_time_.
   void YieldUntil(SimTime t);
 
   void ThreadMain();
+  void FiberBody();
+  static void FiberEntry(void* self);
 
   Scheduler* const scheduler_;
   const int id_;
@@ -102,10 +126,15 @@ class Process {
   State state_ = State::kCreated;
   SimTime now_ = 0;
   SimTime resume_time_ = 0;
+
+  // --- Thread backend only ---
   // Per-process wakeup channel: the scheduler signals exactly the process
   // it selected, avoiding a thundering herd on every handoff.
   std::condition_variable cv_;
   std::thread thread_;
+
+  // --- Fiber backend only ---
+  std::unique_ptr<FiberContext> fiber_;
 };
 
 /// \brief Deterministic discrete-event scheduler.
@@ -114,9 +143,15 @@ class Process {
 /// and detects deadlocks (all live processes blocked). The combination of
 /// minimal-time scheduling and Sync()-before-shared-access yields
 /// bit-reproducible experiments.
+///
+/// Dispatch is O(log P): ready processes live in a binary min-heap keyed by
+/// (resume_time, id); finished processes never enter it and are therefore
+/// never re-examined. Two execution backends are available (see
+/// SchedulerBackend); both make the exact same sequence of dispatch
+/// decisions, so every virtual-time observable is backend-invariant.
 class Scheduler {
  public:
-  Scheduler() = default;
+  explicit Scheduler(SchedulerBackend backend = SchedulerBackend::kDefault);
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
@@ -127,7 +162,8 @@ class Scheduler {
   Process* Spawn(std::function<void(Process&)> body);
 
   /// Runs the simulation until every process has finished. Aborts via
-  /// PSJ_CHECK on deadlock (some processes blocked, none ready).
+  /// PSJ_CHECK on deadlock (some processes blocked, none ready), listing
+  /// every live process's id, state and local clock.
   void Run();
 
   /// Virtual time of the last finishing process; valid after Run().
@@ -136,20 +172,66 @@ class Scheduler {
   int num_processes() const { return static_cast<int>(processes_.size()); }
   Process* process(int id) { return processes_[static_cast<size_t>(id)].get(); }
 
+  /// The backend actually executing (never kDefault).
+  SchedulerBackend backend() const { return backend_; }
+
+  /// Resolves kDefault against PSJ_SIM_BACKEND and build support; explicit
+  /// requests are returned unchanged (kFiber aborts when unsupported).
+  static SchedulerBackend ResolveBackend(SchedulerBackend requested);
+
+  // --- Introspection for tests and microbenchmarks ---
+
+  /// Handoffs performed: how many times a process was popped from the
+  /// ready heap and given control.
+  int64_t num_dispatches() const { return num_dispatches_; }
+  /// Yields elided by the min-clock fast path (no handoff happened).
+  int64_t num_fast_path_yields() const { return num_fast_path_yields_; }
+
  private:
   friend class Process;
 
+  // ---- Backend-independent ready-heap core ----
+
+  /// True (and counts the yield) when `p` may simply continue running
+  /// because no ready process precedes (t, p->id). Never true for t in the
+  /// past relative to the heap top.
+  bool FastPathYield(const Process* p, SimTime t);
+  void PushReady(Process* p);
+  /// Pops the minimal ready process and marks it running.
+  Process* TakeNextReady();
+  /// Multi-line listing of every live process (deadlock diagnostic).
+  std::string DescribeLiveProcesses() const;
+
+  // ---- Thread backend ----
+
+  void RunThreadBackend();
   // Transfers control from the running process back to the scheduler loop.
   // Called by Process::YieldUntil / Block / ThreadMain with state already
   // updated.
   void EnterScheduler(std::unique_lock<std::mutex>& lock);
 
-  std::mutex mu_;
+  // ---- Fiber backend ----
+
+  void RunFiberBackend();
+  /// Hands control from `self` (already parked: re-queued, blocked, or
+  /// finished) to the next ready fiber, or back to Run()'s context when
+  /// the heap is empty. Returns when `self` is dispatched again.
+  void FiberDispatchFrom(Process* self);
+
+  const SchedulerBackend backend_;
+  std::mutex mu_;  // Thread backend only; handoff synchronization.
   std::condition_variable cv_;
   std::vector<std::unique_ptr<Process>> processes_;
+  /// Binary min-heap on (resume_time, id); contains exactly the kReady
+  /// processes.
+  std::vector<Process*> ready_heap_;
   Process* running_ = nullptr;
+  FiberContext main_context_;  // Fiber backend: Run()'s own context.
+  int num_live_ = 0;
   bool started_ = false;
   SimTime end_time_ = 0;
+  int64_t num_dispatches_ = 0;
+  int64_t num_fast_path_yields_ = 0;
 };
 
 /// \brief A FIFO-served exclusive resource in virtual time — one disk of the

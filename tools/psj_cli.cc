@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/experiment.h"
 #include "core/parallel_join.h"
 #include "core/parallel_window_query.h"
 #include "data/generator.h"
@@ -53,6 +54,25 @@ std::string StringFlag(int argc, char** argv, const char* key,
                        const std::string& fallback) {
   const char* value = FlagValue(argc, argv, key);
   return value != nullptr ? value : fallback;
+}
+
+// Parses the --backend flag shared by the simulating subcommands. The
+// backend only changes how the simulator schedules its processes on the
+// host; virtual-time results are identical either way.
+bool ParseBackend(int argc, char** argv, sim::SchedulerBackend* backend) {
+  const std::string value = StringFlag(argc, argv, "backend", "default");
+  if (value == "default") {
+    *backend = sim::SchedulerBackend::kDefault;
+  } else if (value == "thread") {
+    *backend = sim::SchedulerBackend::kThread;
+  } else if (value == "fiber") {
+    *backend = sim::SchedulerBackend::kFiber;
+  } else {
+    std::fprintf(stderr, "error: unknown --backend=%s "
+                         "(default|thread|fiber)\n", value.c_str());
+    return false;
+  }
+  return true;
 }
 
 // Parses "a,b,c,d" into doubles; returns false on malformed input.
@@ -199,7 +219,54 @@ ParallelJoinConfig JoinConfigFromFlags(int argc, char** argv, bool* ok) {
   config.num_disks = IntFlag(argc, argv, "disks", config.num_processors);
   config.total_buffer_pages =
       static_cast<size_t>(IntFlag(argc, argv, "buffer", 800));
+  if (!ParseBackend(argc, argv, &config.scheduler_backend)) {
+    *ok = false;
+  }
   return config;
+}
+
+// --sweep=1,2,4,8 runs the join once per processor count, all simulations
+// dispatched concurrently through the ExperimentDriver (--jobs=N limits the
+// host threads; 0 = one per hardware thread).
+int RunJoinSweep(const ParallelSpatialJoin& join,
+                 const ParallelJoinConfig& base, const std::string& sweep,
+                 int jobs) {
+  std::vector<ParallelJoinConfig> configs;
+  for (const std::string& field : SplitString(sweep, ',')) {
+    const int n = std::atoi(field.c_str());
+    if (n <= 0) {
+      std::fprintf(stderr, "error: bad --sweep entry '%s'\n", field.c_str());
+      return 2;
+    }
+    ParallelJoinConfig config = base;
+    config.num_processors = n;
+    config.num_disks = n;
+    configs.push_back(config);
+  }
+  const ExperimentDriver driver(jobs);
+  std::printf("sweep: %zu runs on %d host threads\n\n", configs.size(),
+              driver.num_threads());
+  const auto results = driver.RunAll(join, configs);
+  std::printf("%-6s %14s %14s %10s\n", "n", "response (s)",
+              "disk accesses", "speedup");
+  double base_time = 0.0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "error: run %zu: %s\n", i,
+                   results[i].status().ToString().c_str());
+      return 1;
+    }
+    const JoinStats& stats = results[i]->stats;
+    const auto seconds = static_cast<double>(stats.response_time);
+    if (i == 0) {
+      base_time = seconds;
+    }
+    std::printf("%-6d %14s %14s %9.2fx\n", configs[i].num_processors,
+                FormatMicrosAsSeconds(stats.response_time).c_str(),
+                FormatWithCommas(stats.total_disk_accesses).c_str(),
+                base_time / seconds);
+  }
+  return 0;
 }
 
 int CmdJoin(int argc, char** argv) {
@@ -215,6 +282,11 @@ int CmdJoin(int argc, char** argv) {
   std::printf("config: %s\n\n", config.Describe().c_str());
   ParallelSpatialJoin join(&dataset->tree_r, &dataset->tree_s,
                            &dataset->store_r, &dataset->store_s);
+  const std::string sweep = StringFlag(argc, argv, "sweep", "");
+  if (!sweep.empty()) {
+    return RunJoinSweep(join, config, sweep,
+                        IntFlag(argc, argv, "jobs", 0));
+  }
   auto result = join.Run(config);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
@@ -235,6 +307,9 @@ int CmdWindow(int argc, char** argv) {
     return 2;
   }
   WindowQueryConfig config;
+  if (!ParseBackend(argc, argv, &config.scheduler_backend)) {
+    return 2;
+  }
   config.num_processors = IntFlag(argc, argv, "processors", 8);
   config.num_disks = IntFlag(argc, argv, "disks", config.num_processors);
   config.total_buffer_pages =
@@ -286,7 +361,10 @@ int Usage() {
       "  join     --prefix=P [--variant=lsr|gsrr|gd|sn] [--processors=N]\n"
       "           [--disks=N] [--buffer=N] [--reassign=none|root|all]\n"
       "           [--placement=modulo|hilbert] [--second-filter=0|1]\n"
+      "           [--backend=default|thread|fiber]\n"
+      "           [--sweep=n1,n2,...] [--jobs=N]\n"
       "  window   --prefix=P --rect=xl,yl,xu,yu [--processors=N]\n"
+      "           [--backend=default|thread|fiber]\n"
       "  knn      --prefix=P --point=x,y [--k=N]\n");
   return 2;
 }
