@@ -1,48 +1,17 @@
 #ifndef PSJ_BENCH_BENCH_COMMON_H_
 #define PSJ_BENCH_BENCH_COMMON_H_
 
-#include <cstdint>
-#include <string>
-#include <string_view>
 #include <vector>
 
 #include "core/experiment.h"
+#include "util/json_writer.h"
 
 namespace psj::bench {
 
-/// \brief Minimal streaming JSON emitter for machine-readable bench output
-/// (the BENCH_*.json files that seed the repo's perf trajectory).
-///
-/// Usage follows the document structure: BeginObject/EndObject,
-/// BeginArray/EndArray, Key inside objects, then one of the value emitters.
-/// Output is pretty-printed with two-space indentation. No escaping beyond
-/// the JSON control set is attempted — keys and values are ASCII bench
-/// labels.
-class JsonWriter {
- public:
-  void BeginObject();
-  void EndObject();
-  void BeginArray();
-  void EndArray();
-  void Key(std::string_view key);
-  void String(std::string_view value);
-  void Double(double value);
-  void Int(int64_t value);
-  void Bool(bool value);
-
-  const std::string& str() const { return out_; }
-  /// Writes the document to `path` (with a trailing newline); returns false
-  /// on I/O failure.
-  bool WriteFile(const std::string& path) const;
-
- private:
-  void BeginValue();
-  void Indent();
-
-  std::string out_;
-  std::vector<bool> container_has_items_;
-  bool pending_key_ = false;
-};
+/// The streaming JSON emitter behind the BENCH_*.json files now lives in
+/// src/util (it also serves `psj_cli join --json` and the Chrome trace
+/// exporter); the alias keeps the bench harnesses unchanged.
+using JsonWriter = ::psj::JsonWriter;
 
 /// Workload scale factor from the environment variable PSJ_BENCH_SCALE
 /// (default 1.0 = the paper's 131,443 / 127,312 objects). Use e.g.

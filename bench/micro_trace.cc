@@ -1,0 +1,177 @@
+// micro_trace — wall-clock cost of the tracing subsystem.
+//
+// Runs the micro_sim join sweep (6 gd configurations, 1..12 processors)
+// in two modes, interleaved:
+//   untraced   config.trace == nullptr — the shipping default, where every
+//              instrumentation point is a single pointer-null branch
+//   traced     one TraceSink per configuration recording the full event
+//              stream (tasks, node pairs, disk queueing, buffer outcomes,
+//              steals) plus both latency histograms
+// and reports the wall-clock delta. The disabled-path cost cannot be
+// measured against an uninstrumented binary from here, so it is bounded
+// analytically instead: (events that WOULD have been recorded) x a
+// conservative per-branch cost, relative to the untraced sweep time. The
+// contract is that this bound stays under 1%.
+//
+// Emits BENCH_trace.json (or argv[1]) via JsonWriter.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "trace/trace_sink.h"
+
+namespace psj {
+namespace {
+
+using bench::JsonWriter;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<ParallelJoinConfig> SweepConfigs() {
+  // Mirrors micro_sim's sweep so the numbers are comparable across the two
+  // harnesses.
+  std::vector<ParallelJoinConfig> configs;
+  for (int n : {1, 2, 4, 6, 8, 12}) {
+    ParallelJoinConfig config = ParallelJoinConfig::Gd();
+    config.reassignment = ReassignmentLevel::kAllLevels;
+    config.num_processors = n;
+    config.num_disks = n;
+    config.total_buffer_pages = static_cast<size_t>(100) *
+                                static_cast<size_t>(n);
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+// Runs the sweep sequentially (one join at a time, no pool noise) and
+// returns the wall-clock seconds. When `sinks` is non-null it must hold
+// one (cleared) sink per config; they are attached for this run.
+double TimeSweep(std::vector<ParallelJoinConfig> configs,
+                 std::vector<std::unique_ptr<trace::TraceSink>>* sinks) {
+  if (sinks != nullptr) {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      configs[i].trace = (*sinks)[i].get();
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = bench::GetWorkload().RunJoins(configs,
+                                                     /*num_threads=*/1);
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "join failed: %s\n",
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  return SecondsSince(start);
+}
+
+int Main(int argc, char** argv) {
+  bench::PrintHeader(
+      "micro_trace — tracing subsystem wall-clock overhead",
+      "tracing enabled costs a few percent; the disabled path (null sink, "
+      "branch-only) is bounded well under 1% of the sweep");
+
+  const auto configs = SweepConfigs();
+  bench::GetWorkload();  // Build/load outside the timed regions.
+
+  constexpr int kTrials = 5;
+  double untraced_best = 1e30;
+  double traced_best = 1e30;
+  int64_t num_events = 0;
+  int64_t histogram_samples = 0;
+  // Interleave the two modes so drift (thermal, cache) hits both equally;
+  // keep the per-mode minimum, the usual robust wall-clock estimator.
+  for (int trial = 0; trial < kTrials; ++trial) {
+    untraced_best = std::min(untraced_best, TimeSweep(configs, nullptr));
+    std::vector<std::unique_ptr<trace::TraceSink>> sinks;
+    for (size_t i = 0; i < configs.size(); ++i) {
+      sinks.push_back(std::make_unique<trace::TraceSink>());
+    }
+    traced_best = std::min(traced_best, TimeSweep(configs, &sinks));
+    if (trial == 0) {
+      for (const auto& sink : sinks) {
+        num_events += static_cast<int64_t>(sink->events().size());
+        for (const std::string& name : sink->histogram_names()) {
+          histogram_samples += sink->FindHistogram(name)->total_count();
+        }
+      }
+    }
+  }
+
+  const double traced_overhead_pct =
+      (traced_best / untraced_best - 1.0) * 100.0;
+  // Disabled-path bound: every event that tracing WOULD record corresponds
+  // to at most a handful of `trace_ != nullptr` checks at the untraced call
+  // sites. 2 ns per event is conservative (a predicted-not-taken branch on
+  // a register is well under a nanosecond).
+  constexpr double kBranchCostSeconds = 2e-9;
+  const double disabled_bound_pct =
+      static_cast<double>(num_events + histogram_samples) *
+      kBranchCostSeconds / untraced_best * 100.0;
+
+  std::printf("sweep of %zu joins, best of %d trials per mode:\n",
+              configs.size(), kTrials);
+  std::printf("  untraced            %8.3f s\n", untraced_best);
+  std::printf("  traced              %8.3f s  (+%.2f%%)\n", traced_best,
+              traced_overhead_pct);
+  std::printf("  events recorded     %8lld  (+%lld histogram samples)\n",
+              static_cast<long long>(num_events),
+              static_cast<long long>(histogram_samples));
+  std::printf("  disabled-path bound %8.4f %% of the untraced sweep\n",
+              disabled_bound_pct);
+  const bool disabled_ok = disabled_bound_pct < 1.0;
+  std::printf("  disabled < 1%% contract: %s\n",
+              disabled_ok ? "PASS" : "FAIL");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("micro_trace");
+  json.Key("compiler");
+  json.String(__VERSION__);
+  json.Key("scale");
+  json.Double(bench::BenchScale());
+  json.Key("num_joins");
+  json.Int(static_cast<int64_t>(configs.size()));
+  json.Key("trials");
+  json.Int(kTrials);
+  json.Key("untraced_seconds");
+  json.Double(untraced_best);
+  json.Key("traced_seconds");
+  json.Double(traced_best);
+  json.Key("traced_overhead_pct");
+  json.Double(traced_overhead_pct);
+  json.Key("events_recorded");
+  json.Int(num_events);
+  json.Key("histogram_samples");
+  json.Int(histogram_samples);
+  json.Key("disabled_branch_cost_ns_assumed");
+  json.Double(kBranchCostSeconds * 1e9);
+  json.Key("disabled_overhead_bound_pct");
+  json.Double(disabled_bound_pct);
+  json.Key("disabled_under_one_percent");
+  json.Bool(disabled_ok);
+  json.EndObject();
+
+  const std::string path = argc > 1 ? argv[1] : "BENCH_trace.json";
+  if (!json.WriteFile(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return disabled_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace psj
+
+int main(int argc, char** argv) { return psj::Main(argc, argv); }

@@ -28,6 +28,30 @@ std::vector<LruBuffer> MakeBuffers(int num_processors, size_t total_pages) {
 
 }  // namespace
 
+PageSource BufferPool::FetchPage(sim::Process& p, const PageId& page,
+                                 bool is_data_page) {
+  if (trace_ == nullptr) {
+    return DoFetchPage(p, page, is_data_page);
+  }
+  const sim::SimTime start = p.now();
+  const PageSource source = DoFetchPage(p, page, is_data_page);
+  switch (source) {
+    case PageSource::kLocalBufferHit:
+      trace_->Span(p.id(), trace::Category::kBufferLocalHit, "local hit",
+                   start, p.now(), page.page_no, is_data_page);
+      break;
+    case PageSource::kRemoteBufferHit:
+      trace_->Span(p.id(), trace::Category::kBufferRemoteHit, "remote hit",
+                   start, p.now(), page.page_no, is_data_page);
+      break;
+    case PageSource::kDiskRead:
+      trace_->Span(p.id(), trace::Category::kBufferMiss, "disk read", start,
+                   p.now(), page.page_no, is_data_page);
+      break;
+  }
+  return source;
+}
+
 LocalBufferPool::LocalBufferPool(int num_processors, size_t total_pages,
                                  DiskArrayModel* disks, BufferCosts costs)
     : disks_(disks),
@@ -37,7 +61,7 @@ LocalBufferPool::LocalBufferPool(int num_processors, size_t total_pages,
   PSJ_CHECK(disks != nullptr);
 }
 
-PageSource LocalBufferPool::FetchPage(sim::Process& p, const PageId& page,
+PageSource LocalBufferPool::DoFetchPage(sim::Process& p, const PageId& page,
                                       bool is_data_page) {
   const size_t cpu = static_cast<size_t>(p.id());
   PSJ_CHECK_LT(cpu, buffers_.size());
@@ -75,7 +99,7 @@ int GlobalBufferPool::OwnerOf(const PageId& page) const {
   return it == directory_.end() ? -1 : it->second;
 }
 
-PageSource GlobalBufferPool::FetchPage(sim::Process& p, const PageId& page,
+PageSource GlobalBufferPool::DoFetchPage(sim::Process& p, const PageId& page,
                                        bool is_data_page) {
   const int cpu = p.id();
   PSJ_CHECK_LT(static_cast<size_t>(cpu), buffers_.size());
@@ -147,7 +171,7 @@ int SharedNothingBufferPool::OwnerOf(const PageId& page) const {
   return disks_->DiskOf(page) % num_processors();
 }
 
-PageSource SharedNothingBufferPool::FetchPage(sim::Process& p,
+PageSource SharedNothingBufferPool::DoFetchPage(sim::Process& p,
                                               const PageId& page,
                                               bool is_data_page) {
   const int cpu = p.id();

@@ -58,14 +58,28 @@ class BufferPool {
 
   /// Obtains `page` for processor `p` (charging virtual time) and returns
   /// where it was found. `is_data_page` selects the data-page-plus-cluster
-  /// disk cost and is recorded in the statistics.
-  virtual PageSource FetchPage(sim::Process& p, const PageId& page,
-                               bool is_data_page) = 0;
+  /// disk cost and is recorded in the statistics. With a sink attached, the
+  /// whole fetch is recorded as one span on the requester's track —
+  /// kBufferLocalHit, kBufferRemoteHit, or kBufferMiss (the miss span
+  /// covers disk queueing and service).
+  PageSource FetchPage(sim::Process& p, const PageId& page,
+                       bool is_data_page);
+
+  /// Attaches an event sink; null (the default) disables tracing.
+  void set_trace(trace::TraceSink* trace) { trace_ = trace; }
 
   /// Per-processor statistics; `cpu` in [0, num_processors).
   virtual const BufferAccessStats& stats(int cpu) const = 0;
 
   virtual int num_processors() const = 0;
+
+ protected:
+  /// Organization-specific fetch; FetchPage wraps it with tracing.
+  virtual PageSource DoFetchPage(sim::Process& p, const PageId& page,
+                                 bool is_data_page) = 0;
+
+ private:
+  trace::TraceSink* trace_ = nullptr;
 };
 
 /// \brief Independent per-processor LRU buffers (§3.1): the shared-nothing /
@@ -78,8 +92,8 @@ class LocalBufferPool : public BufferPool {
   LocalBufferPool(int num_processors, size_t total_pages,
                   DiskArrayModel* disks, BufferCosts costs);
 
-  PageSource FetchPage(sim::Process& p, const PageId& page,
-                       bool is_data_page) override;
+  PageSource DoFetchPage(sim::Process& p, const PageId& page,
+                         bool is_data_page) override;
 
   const BufferAccessStats& stats(int cpu) const override;
   int num_processors() const override {
@@ -110,8 +124,8 @@ class GlobalBufferPool : public BufferPool {
   GlobalBufferPool(int num_processors, size_t total_pages,
                    DiskArrayModel* disks, BufferCosts costs);
 
-  PageSource FetchPage(sim::Process& p, const PageId& page,
-                       bool is_data_page) override;
+  PageSource DoFetchPage(sim::Process& p, const PageId& page,
+                         bool is_data_page) override;
 
   const BufferAccessStats& stats(int cpu) const override;
   int num_processors() const override {
@@ -148,8 +162,8 @@ class SharedNothingBufferPool : public BufferPool {
   SharedNothingBufferPool(int num_processors, size_t total_pages,
                           DiskArrayModel* disks, BufferCosts costs);
 
-  PageSource FetchPage(sim::Process& p, const PageId& page,
-                       bool is_data_page) override;
+  PageSource DoFetchPage(sim::Process& p, const PageId& page,
+                         bool is_data_page) override;
 
   const BufferAccessStats& stats(int cpu) const override;
   int num_processors() const override {

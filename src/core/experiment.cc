@@ -118,12 +118,33 @@ std::vector<StatusOr<JoinResult>> ExperimentDriver::RunAll(
   std::vector<StatusOr<JoinResult>> results(
       configs.size(),
       StatusOr<JoinResult>(Status::Internal("experiment did not run")));
+  // A TraceSink records without locks and belongs to exactly one run. One
+  // sink per config is fine on the pool; two configs sharing a sink would
+  // interleave their events, so reject the duplicates deterministically.
+  std::vector<char> skip(configs.size(), 0);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].trace == nullptr) {
+      continue;
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (configs[j].trace == configs[i].trace) {
+        results[i] = Status::InvalidArgument(
+            "two sweep configs share one TraceSink; give each traced "
+            "config its own sink");
+        skip[i] = 1;
+        break;
+      }
+    }
+  }
   std::atomic<size_t> next{0};
-  const auto worker = [&join, &configs, &results, &next] {
+  const auto worker = [&join, &configs, &results, &next, &skip] {
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= configs.size()) {
         return;
+      }
+      if (skip[i] != 0) {
+        continue;
       }
       results[i] = join.Run(configs[i]);
     }

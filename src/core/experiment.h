@@ -105,6 +105,9 @@ class ExperimentDriver {
 
   /// Runs every config through `join.Run()` on the pool. The caller's
   /// thread participates, so RunAll(join, {c}) adds no thread overhead.
+  /// Traced configs are supported — each run records into its own sink —
+  /// but two configs sharing one TraceSink would interleave their events,
+  /// so all but the first such config fail with InvalidArgument.
   std::vector<StatusOr<JoinResult>> RunAll(
       const ParallelSpatialJoin& join,
       const std::vector<ParallelJoinConfig>& configs) const;

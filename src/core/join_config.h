@@ -12,6 +12,10 @@
 
 namespace psj {
 
+namespace trace {
+class TraceSink;
+}  // namespace trace
+
 /// Buffer organization (§3.2; kSharedNothing is our §5 future-work
 /// extension).
 enum class BufferType {
@@ -99,6 +103,13 @@ struct ParallelJoinConfig {
   /// backend-invariant (the determinism suite asserts bit-identical
   /// results).
   sim::SchedulerBackend scheduler_backend = sim::SchedulerBackend::kDefault;
+
+  /// Event sink recording the run's virtual-time timeline (spans, counters,
+  /// histograms; see trace/trace_sink.h). Null — the default — disables
+  /// tracing entirely: every instrumentation site reduces to one pointer
+  /// test. The sink must outlive the run; like the statistics, recording is
+  /// backend-invariant and bit-reproducible.
+  trace::TraceSink* trace = nullptr;
 
   /// Convenience constructors for the paper's variants.
   static ParallelJoinConfig Lsr();

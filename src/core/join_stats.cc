@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/json_writer.h"
 #include "util/string_util.h"
 
 namespace psj {
@@ -12,6 +13,7 @@ void JoinStats::Finalize(int64_t disk_accesses, sim::SimTime disk_wait) {
   response_time = 0;
   first_finish = per_processor[0].last_work_time;
   total_task_time = 0;
+  total_idle_time = 0;
   total_disk_accesses = disk_accesses;
   total_disk_wait = disk_wait;
   total_local_hits = 0;
@@ -22,11 +24,19 @@ void JoinStats::Finalize(int64_t disk_accesses, sim::SimTime disk_wait) {
   total_second_filter_eliminated = 0;
   total_refinement_time = 0;
   sim::SimTime finish_sum = 0;
-  for (const ProcessorStats& p : per_processor) {
+  for (size_t i = 0; i < per_processor.size(); ++i) {
+    ProcessorStats& p = per_processor[i];
+    // Processor 0 spends the sequential task-creation phase neither idle
+    // nor executing tasks. Clamped: a processor that never got work has
+    // last_work_time 0.
+    const sim::SimTime non_idle =
+        p.busy_time + (i == 0 ? task_creation_time : 0);
+    p.idle_time = std::max<sim::SimTime>(p.last_work_time - non_idle, 0);
     response_time = std::max(response_time, p.last_work_time);
     first_finish = std::min(first_finish, p.last_work_time);
     finish_sum += p.last_work_time;
     total_task_time += p.busy_time;
+    total_idle_time += p.idle_time;
     total_local_hits += p.buffer.local_hits;
     total_remote_hits += p.buffer.remote_hits;
     total_path_buffer_hits += p.path_buffer_hits;
@@ -45,6 +55,92 @@ sim::SimTime JoinStats::AvgRefinementTime() const {
     return 0;
   }
   return total_refinement_time / performed;
+}
+
+void JoinStats::WriteJson(JsonWriter& out) const {
+  out.BeginObject();
+  out.Key("response_time_us");
+  out.Int(response_time);
+  out.Key("first_finish_us");
+  out.Int(first_finish);
+  out.Key("avg_finish_us");
+  out.Int(avg_finish);
+  out.Key("task_creation_time_us");
+  out.Int(task_creation_time);
+  out.Key("total_task_time_us");
+  out.Int(total_task_time);
+  out.Key("total_idle_time_us");
+  out.Int(total_idle_time);
+  out.Key("total_disk_wait_us");
+  out.Int(total_disk_wait);
+  out.Key("total_refinement_time_us");
+  out.Int(total_refinement_time);
+  out.Key("avg_refinement_time_us");
+  out.Int(AvgRefinementTime());
+  out.Key("num_tasks");
+  out.Int(num_tasks);
+  out.Key("task_level");
+  out.Int(task_level);
+  out.Key("disk_accesses");
+  out.Int(total_disk_accesses);
+  out.Key("local_hits");
+  out.Int(total_local_hits);
+  out.Key("remote_hits");
+  out.Int(total_remote_hits);
+  out.Key("path_buffer_hits");
+  out.Int(total_path_buffer_hits);
+  out.Key("candidates");
+  out.Int(total_candidates);
+  out.Key("answers");
+  out.Int(total_answers);
+  out.Key("second_filter_eliminated");
+  out.Int(total_second_filter_eliminated);
+  out.Key("per_processor");
+  out.BeginArray();
+  for (const ProcessorStats& p : per_processor) {
+    out.BeginObject();
+    out.Key("last_work_time_us");
+    out.Int(p.last_work_time);
+    out.Key("busy_time_us");
+    out.Int(p.busy_time);
+    out.Key("idle_time_us");
+    out.Int(p.idle_time);
+    out.Key("disk_queue_wait_us");
+    out.Int(p.disk_queue_wait);
+    out.Key("refinement_time_us");
+    out.Int(p.refinement_time);
+    out.Key("tasks_started");
+    out.Int(p.tasks_started);
+    out.Key("node_pairs_processed");
+    out.Int(p.node_pairs_processed);
+    out.Key("candidates");
+    out.Int(p.candidates);
+    out.Key("answers");
+    out.Int(p.answers);
+    out.Key("path_buffer_hits");
+    out.Int(p.path_buffer_hits);
+    out.Key("second_filter_eliminated");
+    out.Int(p.second_filter_eliminated);
+    out.Key("steal_requests_sent");
+    out.Int(p.steal_requests_sent);
+    out.Key("steal_requests_failed");
+    out.Int(p.steal_requests_failed);
+    out.Key("pairs_stolen");
+    out.Int(p.pairs_stolen);
+    out.Key("pairs_given");
+    out.Int(p.pairs_given);
+    out.Key("buffer_local_hits");
+    out.Int(p.buffer.local_hits);
+    out.Key("buffer_remote_hits");
+    out.Int(p.buffer.remote_hits);
+    out.Key("buffer_disk_reads");
+    out.Int(p.buffer.disk_reads);
+    out.Key("buffer_disk_reads_data_pages");
+    out.Int(p.buffer.disk_reads_data_pages);
+    out.EndObject();
+  }
+  out.EndArray();
+  out.EndObject();
 }
 
 std::string JoinStats::Summary() const {

@@ -11,6 +11,8 @@
 
 namespace psj {
 
+class JsonWriter;
+
 /// Per-processor counters of one parallel join run.
 struct ProcessorStats {
   /// Virtual time at which the processor finished its last piece of work
@@ -20,6 +22,15 @@ struct ProcessorStats {
   /// Virtual time spent executing tasks (including I/O waits) — the paper's
   /// "total run time of all tasks" is the sum over processors.
   sim::SimTime busy_time = 0;
+  /// Derived by JoinStats::Finalize(): time between start and last_work_time
+  /// not spent executing tasks nor — on processor 0 — creating them
+  /// (clamped at 0; polling for work and reassignment round-trips land
+  /// here).
+  sim::SimTime idle_time = 0;
+  /// Virtual time this processor's disk requests spent queued (not being
+  /// served) at the disk array. A subset of busy_time: tasks block on their
+  /// own I/O.
+  sim::SimTime disk_queue_wait = 0;
 
   int64_t tasks_started = 0;        // Root-level tasks this processor began.
   int64_t node_pairs_processed = 0;
@@ -52,6 +63,7 @@ struct JoinStats {
   sim::SimTime first_finish = 0;   // min over last_work_time.
   sim::SimTime avg_finish = 0;     // mean over last_work_time.
   sim::SimTime total_task_time = 0;  // sum over busy_time.
+  sim::SimTime total_idle_time = 0;  // sum over idle_time.
   sim::SimTime task_creation_time = 0;  // Duration of the sequential phase.
   sim::SimTime total_disk_wait = 0;  // Queueing at the disks.
 
@@ -72,11 +84,17 @@ struct JoinStats {
   int task_level = 0;     // Tree level of the created tasks.
 
   /// Fills the aggregate fields from per_processor (plus the given disk
-  /// totals).
+  /// totals) and derives each processor's idle_time. task_creation_time
+  /// must already be set: processor 0's sequential phase is neither busy
+  /// nor idle.
   void Finalize(int64_t disk_accesses, sim::SimTime disk_wait);
 
   /// Multi-line human-readable summary.
   std::string Summary() const;
+
+  /// Writes the full statistics (aggregates plus the per-processor table)
+  /// as one JSON object.
+  void WriteJson(JsonWriter& out) const;
 
   /// Field-by-field equality — the determinism suite's definition of
   /// "bit-identical results".

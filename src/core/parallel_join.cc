@@ -9,6 +9,8 @@
 #include "core/workload.h"
 #include "join/node_match.h"
 #include "join/second_filter.h"
+#include "trace/trace_sink.h"
+#include "util/string_util.h"
 
 namespace psj {
 namespace {
@@ -73,6 +75,17 @@ class JoinDriver {
       second_filter_s_ = std::make_unique<SecondFilter>(
           *objects_s_, config_.second_filter_sections);
     }
+    if (config_.trace != nullptr) {
+      trace_ = config_.trace;
+      scheduler_.set_trace(trace_);
+      disks_.BindTrace(trace_);
+      buffers_->set_trace(trace_);
+      pool_.set_trace(trace_);
+      for (int i = 0; i < n; ++i) {
+        trace_->SetTrackName(i, StringPrintf("cpu %d", i));
+      }
+      task_duration_histogram_ = trace_->histogram("task_duration_us");
+    }
   }
 
   JoinResult Run() {
@@ -91,6 +104,7 @@ class JoinDriver {
       stats.steal_requests_failed = counters.steal_requests_failed;
       stats.pairs_stolen = counters.items_stolen;
       stats.pairs_given = counters.items_given;
+      stats.disk_queue_wait = disks_.queue_wait_of_cpu(i);
     }
     result.stats.per_processor = stats_;
     result.stats.num_tasks = num_tasks_;
@@ -130,6 +144,7 @@ class JoinDriver {
   // ---- Phase 1 + 2: task creation and assignment (processor 0) ----
 
   void CreateAndAssignTasks(sim::Process& p) {
+    const sim::SimTime creation_start = p.now();
     struct FrontierPair {
       uint32_t page_r;
       uint32_t page_s;
@@ -234,6 +249,10 @@ class JoinDriver {
 
     pool_.Assign(config_.assignment, tasks, task_level_);
     task_creation_time_ = p.now();
+    if (trace_ != nullptr) {
+      trace_->Span(p.id(), trace::Category::kTaskCreation, "task creation",
+                   creation_start, p.now(), num_tasks_, task_level_);
+    }
     p.Sync();
     tasks_ready_ = true;
   }
@@ -250,6 +269,11 @@ class JoinDriver {
         pool_.FinishItem(p.id());
         stats_[cpu].busy_time += p.now() - start;
         stats_[cpu].last_work_time = p.now();
+        if (trace_ != nullptr) {
+          trace_->Span(p.id(), trace::Category::kTask, "task", start, p.now(),
+                       item->page_r, item->page_s);
+          task_duration_histogram_->Record(p.now() - start);
+        }
         continue;
       }
       // Out of own work.
@@ -278,6 +302,11 @@ class JoinDriver {
               static_cast<sim::SimTime>(counts.pairs_tested) *
                   config_.costs.cpu_per_pair_tested);
     ++stats_[cpu].node_pairs_processed;
+    if (trace_ != nullptr) {
+      trace_->Instant(p.id(), trace::Category::kNodePair, "node pair",
+                      p.now(), static_cast<int64_t>(matches.size()),
+                      pair.level);
+    }
 
     if (pair.level > 0) {
       // Directory pair: the matched child pairs become pending work, in
@@ -321,6 +350,10 @@ class JoinDriver {
       }
       const sim::SimTime refine_cost =
           config_.costs.RefinementCost(er.rect, es.rect);
+      if (trace_ != nullptr) {
+        trace_->Span(p.id(), trace::Category::kRefinement, "refinement",
+                     p.now(), p.now() + refine_cost);
+      }
       p.Advance(refine_cost);
       stats_[cpu].refinement_time += refine_cost;
       bool is_answer = false;
@@ -350,6 +383,10 @@ class JoinDriver {
         path_buffers_[cpu].Contains(pid, level)) {
       p.Advance(config_.costs.path_buffer_hit);
       ++stats_[cpu].path_buffer_hits;
+      if (trace_ != nullptr) {
+        trace_->Instant(p.id(), trace::Category::kPathBufferHit,
+                        "path buffer hit", p.now(), pid.page_no, level);
+      }
     } else {
       buffers_->FetchPage(p, pid, /*is_data_page=*/level == 0);
       if (config_.use_path_buffer) {
@@ -383,6 +420,10 @@ class JoinDriver {
   std::vector<PathBuffer> path_buffers_;
   std::unique_ptr<SecondFilter> second_filter_r_;
   std::unique_ptr<SecondFilter> second_filter_s_;
+
+  // ---- Observability (null when tracing is disabled) ----
+  trace::TraceSink* trace_ = nullptr;
+  trace::Histogram* task_duration_histogram_ = nullptr;
 
   // ---- Results ----
   std::vector<ProcessorStats> stats_;

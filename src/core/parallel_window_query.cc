@@ -85,6 +85,7 @@ class WindowQueryDriver {
       stats.steal_requests_failed = counters.steal_requests_failed;
       stats.pairs_stolen = counters.items_stolen;
       stats.pairs_given = counters.items_given;
+      stats.disk_queue_wait = disks_.queue_wait_of_cpu(i);
     }
     result.stats.per_processor = stats_;
     result.stats.num_tasks = num_tasks_;

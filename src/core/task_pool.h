@@ -9,6 +9,7 @@
 #include "core/join_config.h"
 #include "core/workload.h"
 #include "sim/simulation.h"
+#include "trace/trace_sink.h"
 #include "util/rng.h"
 
 namespace psj {
@@ -50,6 +51,12 @@ class TaskPool {
   }
 
   int num_processors() const { return static_cast<int>(workloads_.size()); }
+
+  /// Attaches an event sink; null (the default) disables tracing. Emits a
+  /// kTask "dequeue" instant per shared-queue pop and, per reassignment
+  /// attempt, a kStealRequest instant plus either a kSteal round-trip span
+  /// or a kStealFail instant on the thief's track.
+  void set_trace(trace::TraceSink* trace) { trace_ = trace; }
 
   /// Distributes the created tasks (phase 2, §3.1/§3.3). Tasks must be in
   /// local plane-sweep order; `task_level` is their common tree level.
@@ -99,6 +106,10 @@ class TaskPool {
         item = task_queue_.front();
         task_queue_.pop_front();
         ++counters_[cpu].tasks_started;
+        if (trace_ != nullptr) {
+          trace_->Instant(p.id(), trace::Category::kTask, "dequeue", p.now(),
+                          static_cast<int64_t>(task_queue_.size()));
+        }
       }
     }
     if (item.has_value()) {
@@ -146,6 +157,11 @@ class TaskPool {
       return false;
     }
     ++counters_[cpu].steal_requests_sent;
+    const sim::SimTime request_time = p.now();
+    if (trace_ != nullptr) {
+      trace_->Instant(p.id(), trace::Category::kStealRequest, "steal request",
+                      request_time, victim);
+    }
     p.WaitUntil(p.now() + 2 * costs_.reassign_message_delay);
     p.Advance(costs_.reassign_handling_cpu);
     p.Sync();
@@ -155,7 +171,15 @@ class TaskPool {
       // The victim consumed its pending work while the request was in
       // flight.
       ++counters_[cpu].steal_requests_failed;
+      if (trace_ != nullptr) {
+        trace_->Instant(p.id(), trace::Category::kStealFail, "steal failed",
+                        p.now(), victim);
+      }
       return false;
+    }
+    if (trace_ != nullptr) {
+      trace_->Span(p.id(), trace::Category::kSteal, "steal", request_time,
+                   p.now(), victim, static_cast<int64_t>(stolen.size()));
     }
     counters_[cpu].items_stolen += static_cast<int64_t>(stolen.size());
     counters_[static_cast<size_t>(victim)].items_given +=
@@ -220,6 +244,7 @@ class TaskPool {
   }
 
   const CostModel& costs_;
+  trace::TraceSink* trace_ = nullptr;
   bool dynamic_ = false;
   int task_level_ = 0;
   std::deque<Item> task_queue_;

@@ -62,6 +62,10 @@ void Process::ThreadMain() {
     now_ = resume_time_;
   }
   body_(*this);
+  if (scheduler_->trace_ != nullptr) {
+    scheduler_->trace_->Instant(id_, trace::Category::kProcess, "finish",
+                                now_);
+  }
   {
     std::unique_lock<std::mutex> lock(scheduler_->mu_);
     state_ = State::kFinished;
@@ -79,6 +83,10 @@ void Process::FiberBody() {
   // process running.
   now_ = resume_time_;
   body_(*this);
+  if (scheduler_->trace_ != nullptr) {
+    scheduler_->trace_->Instant(id_, trace::Category::kProcess, "finish",
+                                now_);
+  }
   state_ = State::kFinished;
   --scheduler_->num_live_;
   scheduler_->FiberDispatchFrom(this);
@@ -362,7 +370,7 @@ void Scheduler::FiberDispatchFrom(Process* self) {
 // Resource
 // ---------------------------------------------------------------------------
 
-void Resource::Use(Process& p, SimTime duration) {
+ResourceUse Resource::Use(Process& p, SimTime duration) {
   PSJ_CHECK_GE(duration, 0);
   // Sync so requests arrive at the server in global virtual-time order.
   p.Sync();
@@ -372,7 +380,16 @@ void Resource::Use(Process& p, SimTime duration) {
   ++num_uses_;
   busy_time_ += duration;
   queue_wait_time_ += start - arrival;
+  if (trace_ != nullptr) {
+    if (start > arrival) {
+      trace_->Span(track_, trace::Category::kDiskQueue, "queue", arrival,
+                   start, p.id());
+    }
+    trace_->Span(track_, trace::Category::kDiskService, "service", start,
+                 next_free_, p.id());
+  }
   p.WaitUntil(next_free_);
+  return ResourceUse{arrival, start, next_free_};
 }
 
 }  // namespace psj::sim

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/fiber_context.h"
+#include "trace/trace_sink.h"
 #include "util/check.h"
 
 namespace psj::sim {
@@ -187,6 +188,12 @@ class Scheduler {
   /// Yields elided by the min-clock fast path (no handoff happened).
   int64_t num_fast_path_yields() const { return num_fast_path_yields_; }
 
+  /// Attaches an event sink (null disables tracing, the default). The
+  /// scheduler emits a kProcess finish instant per process; must be set
+  /// before Run().
+  void set_trace(trace::TraceSink* trace) { trace_ = trace; }
+  trace::TraceSink* trace() const { return trace_; }
+
  private:
   friend class Process;
 
@@ -232,6 +239,17 @@ class Scheduler {
   SimTime end_time_ = 0;
   int64_t num_dispatches_ = 0;
   int64_t num_fast_path_yields_ = 0;
+  trace::TraceSink* trace_ = nullptr;
+};
+
+/// Virtual-time breakdown of one Resource service, returned to the caller
+/// so higher layers can attribute the queueing delay (e.g. per processor).
+struct ResourceUse {
+  SimTime arrival = 0;  // When the request was issued.
+  SimTime start = 0;    // When service began: arrival + queue wait.
+  SimTime end = 0;      // When service completed.
+
+  SimTime queue_wait() const { return start - arrival; }
 };
 
 /// \brief A FIFO-served exclusive resource in virtual time — one disk of the
@@ -245,8 +263,17 @@ class Resource {
   explicit Resource(std::string name) : name_(std::move(name)) {}
 
   /// Performs one service of length `duration`: the calling process's clock
-  /// ends at max(now, server_free) + duration.
-  void Use(Process& p, SimTime duration);
+  /// ends at max(now, server_free) + duration. The returned breakdown lets
+  /// the caller attribute the queueing delay.
+  ResourceUse Use(Process& p, SimTime duration);
+
+  /// Attaches an event sink; subsequent services emit a kDiskQueue span
+  /// (when the request waited) and a kDiskService span on `track`, with the
+  /// requester's process id as arg0.
+  void BindTrace(trace::TraceSink* trace, int32_t track) {
+    trace_ = trace;
+    track_ = track;
+  }
 
   const std::string& name() const { return name_; }
   int64_t num_uses() const { return num_uses_; }
@@ -260,6 +287,8 @@ class Resource {
   int64_t num_uses_ = 0;
   SimTime busy_time_ = 0;
   SimTime queue_wait_time_ = 0;
+  trace::TraceSink* trace_ = nullptr;
+  int32_t track_ = 0;
 };
 
 /// \brief Point-to-point message queue with delivery latency, used for the

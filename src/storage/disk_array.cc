@@ -24,11 +24,34 @@ void DiskArrayModel::SetExplicitPlacement(
   explicit_placement_ = std::move(placement);
 }
 
-void DiskArrayModel::ReadPage(sim::Process& p, const PageId& page,
-                              bool is_data_page) {
+sim::ResourceUse DiskArrayModel::ReadPage(sim::Process& p, const PageId& page,
+                                          bool is_data_page) {
   const sim::SimTime cost = is_data_page ? params_.DataPageWithClusterCost()
                                          : params_.DirectoryPageCost();
-  disks_[static_cast<size_t>(DiskOf(page))]->Use(p, cost);
+  const sim::ResourceUse use =
+      disks_[static_cast<size_t>(DiskOf(page))]->Use(p, cost);
+  if (p.id() >= 0) {
+    const auto cpu = static_cast<size_t>(p.id());
+    if (cpu >= queue_wait_by_cpu_.size()) {
+      queue_wait_by_cpu_.resize(cpu + 1, 0);
+    }
+    queue_wait_by_cpu_[cpu] += use.queue_wait();
+  }
+  if (queue_wait_histogram_ != nullptr) {
+    queue_wait_histogram_->Record(use.queue_wait());
+  }
+  return use;
+}
+
+void DiskArrayModel::BindTrace(trace::TraceSink* trace) {
+  for (int i = 0; i < num_disks_; ++i) {
+    disks_[static_cast<size_t>(i)]->BindTrace(trace, trace::DiskTrack(i));
+    if (trace != nullptr) {
+      trace->SetTrackName(trace::DiskTrack(i), StringPrintf("disk %d", i));
+    }
+  }
+  queue_wait_histogram_ =
+      trace == nullptr ? nullptr : trace->histogram("disk_queue_wait_us");
 }
 
 int64_t DiskArrayModel::total_accesses() const {
@@ -51,6 +74,12 @@ sim::SimTime DiskArrayModel::total_queue_wait() const {
     total += disk->queue_wait_time();
   }
   return total;
+}
+
+sim::SimTime DiskArrayModel::queue_wait_of_cpu(int cpu) const {
+  PSJ_CHECK_GE(cpu, 0);
+  const auto i = static_cast<size_t>(cpu);
+  return i < queue_wait_by_cpu_.size() ? queue_wait_by_cpu_[i] : 0;
 }
 
 }  // namespace psj

@@ -65,8 +65,15 @@ class DiskArrayModel {
 
   /// Charges the virtual time of reading `page` from disk to `p`,
   /// queueing at the owning disk. A data page read includes its geometry
-  /// cluster.
-  void ReadPage(sim::Process& p, const PageId& page, bool is_data_page);
+  /// cluster. Returns the virtual-time breakdown of the service.
+  sim::ResourceUse ReadPage(sim::Process& p, const PageId& page,
+                            bool is_data_page);
+
+  /// Attaches an event sink. Each disk emits kDiskQueue/kDiskService spans
+  /// on its DiskTrack; the array records per-requester queue wait and the
+  /// "disk_queue_wait_us" histogram. Must be called before the simulation
+  /// starts; null detaches.
+  void BindTrace(trace::TraceSink* trace);
 
   int num_disks() const { return num_disks_; }
   const DiskParameters& params() const { return params_; }
@@ -77,12 +84,17 @@ class DiskArrayModel {
   int64_t disk_accesses(int disk) const;
   /// Total virtual time requesters spent queued at the disks.
   sim::SimTime total_queue_wait() const;
+  /// Queue wait accumulated by requests that process `cpu` issued.
+  sim::SimTime queue_wait_of_cpu(int cpu) const;
 
  private:
   const int num_disks_;
   const DiskParameters params_;
   std::vector<std::unique_ptr<sim::Resource>> disks_;
   std::unordered_map<PageId, int, PageIdHash> explicit_placement_;
+  /// Indexed by requester process id; grown on demand.
+  std::vector<sim::SimTime> queue_wait_by_cpu_;
+  trace::Histogram* queue_wait_histogram_ = nullptr;  // Owned by the sink.
 };
 
 }  // namespace psj

@@ -1,0 +1,175 @@
+#include "trace/timeline.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace psj::trace {
+namespace {
+
+/// Adds span [start, end) into `buckets`, clipped against the bucket grid.
+void Accumulate(std::vector<TraceTime>* buckets, TraceTime bucket_width,
+                TraceTime start, TraceTime end) {
+  if (end <= start || bucket_width <= 0) {
+    return;
+  }
+  const auto n = static_cast<TraceTime>(buckets->size());
+  TraceTime first = start / bucket_width;
+  TraceTime last = (end - 1) / bucket_width;
+  first = std::clamp<TraceTime>(first, 0, n - 1);
+  last = std::clamp<TraceTime>(last, 0, n - 1);
+  for (TraceTime b = first; b <= last; ++b) {
+    const TraceTime lo = std::max(start, b * bucket_width);
+    const TraceTime hi = std::min(end, (b + 1) * bucket_width);
+    if (hi > lo) {
+      (*buckets)[static_cast<size_t>(b)] += hi - lo;
+    }
+  }
+}
+
+enum class SpanClass { kBusy, kIo, kSteal, kOther };
+
+SpanClass Classify(Category category) {
+  switch (category) {
+    case Category::kTask:
+    case Category::kTaskCreation:
+      return SpanClass::kBusy;
+    case Category::kBufferMiss:
+    case Category::kBufferRemoteHit:
+      return SpanClass::kIo;
+    case Category::kSteal:
+      return SpanClass::kSteal;
+    default:
+      return SpanClass::kOther;
+  }
+}
+
+}  // namespace
+
+TimelineTable AnalyzeTimeline(const TraceSink& sink, int num_processors,
+                              TraceTime end_time, int num_buckets) {
+  PSJ_CHECK_GT(num_processors, 0);
+  PSJ_CHECK_GT(num_buckets, 0);
+  TimelineTable table;
+  table.end_time = std::max<TraceTime>(end_time, 1);
+  table.num_buckets = num_buckets;
+  table.bucket_width =
+      (table.end_time + num_buckets - 1) / num_buckets;  // ceil
+  const size_t buckets = static_cast<size_t>(num_buckets);
+
+  // Raw per-class coverage in virtual microseconds per bucket. I/O spans
+  // are recorded nested inside the covering task span, so busy time is the
+  // task coverage minus the I/O coverage.
+  std::vector<std::vector<TraceTime>> busy_raw(
+      static_cast<size_t>(num_processors), std::vector<TraceTime>(buckets));
+  auto io = busy_raw, steal = busy_raw;
+  std::vector<TraceTime> busy_total(static_cast<size_t>(num_processors));
+  auto io_total = busy_total, steal_total = busy_total;
+
+  for (const TraceEvent& event : sink.events()) {
+    if (event.track < 0 || event.track >= num_processors ||
+        event.end <= event.start) {
+      continue;
+    }
+    const size_t cpu = static_cast<size_t>(event.track);
+    const TraceTime duration = event.end - event.start;
+    switch (Classify(event.category)) {
+      case SpanClass::kBusy:
+        Accumulate(&busy_raw[cpu], table.bucket_width, event.start,
+                   event.end);
+        busy_total[cpu] += duration;
+        break;
+      case SpanClass::kIo:
+        Accumulate(&io[cpu], table.bucket_width, event.start, event.end);
+        io_total[cpu] += duration;
+        break;
+      case SpanClass::kSteal:
+        Accumulate(&steal[cpu], table.bucket_width, event.start, event.end);
+        steal_total[cpu] += duration;
+        break;
+      case SpanClass::kOther:
+        break;
+    }
+  }
+
+  table.per_processor.resize(static_cast<size_t>(num_processors));
+  for (int cpu = 0; cpu < num_processors; ++cpu) {
+    const size_t c = static_cast<size_t>(cpu);
+    TrackUtilization& row = table.per_processor[c];
+    row.track = cpu;
+    row.busy.resize(buckets);
+    row.io_wait.resize(buckets);
+    row.steal.resize(buckets);
+    row.idle.resize(buckets);
+    for (size_t b = 0; b < buckets; ++b) {
+      // The last bucket may extend past end_time; normalize by its true
+      // width so fractions always sum to 1.
+      const TraceTime lo = static_cast<TraceTime>(b) * table.bucket_width;
+      const TraceTime width =
+          std::min(table.bucket_width, table.end_time - lo);
+      if (width <= 0) {
+        row.idle[b] = 1.0;
+        continue;
+      }
+      const TraceTime io_t = std::min(io[c][b], width);
+      const TraceTime steal_t = std::min(steal[c][b], width - io_t);
+      const TraceTime busy_t = std::clamp<TraceTime>(
+          busy_raw[c][b] - io_t, 0, width - io_t - steal_t);
+      const auto w = static_cast<double>(width);
+      row.busy[b] = static_cast<double>(busy_t) / w;
+      row.io_wait[b] = static_cast<double>(io_t) / w;
+      row.steal[b] = static_cast<double>(steal_t) / w;
+      row.idle[b] = static_cast<double>(width - busy_t - io_t - steal_t) / w;
+    }
+    row.total_io_wait = io_total[c];
+    row.total_steal = steal_total[c];
+    row.total_busy = std::max<TraceTime>(busy_total[c] - io_total[c], 0);
+    row.total_idle = std::max<TraceTime>(
+        table.end_time - row.total_busy - row.total_io_wait - row.total_steal,
+        0);
+  }
+  return table;
+}
+
+std::string TimelineTable::Format() const {
+  std::string out;
+  out += StringPrintf(
+      "timeline: %d buckets x %s virtual us (horizon %s us)\n"
+      "  legend: '#' busy  'D' io-wait  's' steal  '.' idle (per-bucket "
+      "plurality)\n",
+      num_buckets, FormatWithCommas(bucket_width).c_str(),
+      FormatWithCommas(end_time).c_str());
+  for (const TrackUtilization& row : per_processor) {
+    std::string strip;
+    strip.reserve(row.busy.size());
+    for (size_t b = 0; b < row.busy.size(); ++b) {
+      char c = '.';
+      double best = row.idle[b];
+      if (row.busy[b] > best) {
+        best = row.busy[b];
+        c = '#';
+      }
+      if (row.io_wait[b] > best) {
+        best = row.io_wait[b];
+        c = 'D';
+      }
+      if (row.steal[b] > best) {
+        c = 's';
+      }
+      strip += c;
+    }
+    const auto total = static_cast<double>(end_time);
+    out += StringPrintf(
+        "  cpu %-3d |%s| busy %5.1f%%  io %5.1f%%  steal %4.1f%%  idle "
+        "%5.1f%%\n",
+        row.track, strip.c_str(),
+        100.0 * static_cast<double>(row.total_busy) / total,
+        100.0 * static_cast<double>(row.total_io_wait) / total,
+        100.0 * static_cast<double>(row.total_steal) / total,
+        100.0 * static_cast<double>(row.total_idle) / total);
+  }
+  return out;
+}
+
+}  // namespace psj::trace

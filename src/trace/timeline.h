@@ -1,0 +1,55 @@
+#ifndef PSJ_TRACE_TIMELINE_H_
+#define PSJ_TRACE_TIMELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_sink.h"
+
+namespace psj::trace {
+
+/// Per-bucket utilization of one simulated processor, as fractions of the
+/// bucket width in [0, 1]. busy + io_wait + steal + idle == 1 for every
+/// bucket of the run (idle absorbs the remainder).
+struct TrackUtilization {
+  int32_t track = 0;
+  std::vector<double> busy;     // Executing tasks / creating tasks.
+  std::vector<double> io_wait;  // Disk reads (queue + service) and remote
+                                // page transfers.
+  std::vector<double> steal;    // Reassignment protocol round-trips.
+  std::vector<double> idle;     // None of the above.
+
+  // Whole-run totals in virtual microseconds.
+  TraceTime total_busy = 0;
+  TraceTime total_io_wait = 0;
+  TraceTime total_steal = 0;
+  TraceTime total_idle = 0;
+};
+
+/// \brief The paper's Figure 6/7 narrative as data: when each processor
+/// computed, queued at the disk array, ran the reassignment protocol, or
+/// sat idle — per fixed-width virtual-time bucket.
+struct TimelineTable {
+  TraceTime end_time = 0;       // Horizon of the analysis (response time).
+  TraceTime bucket_width = 0;   // Virtual microseconds per bucket.
+  int num_buckets = 0;
+  std::vector<TrackUtilization> per_processor;
+
+  /// Compact fixed-width text rendering: one strip per processor (one
+  /// character per bucket: '#' busy, 'D' I/O-wait, 's' steal, '.' idle,
+  /// by plurality) plus the whole-run percentage breakdown.
+  std::string Format() const;
+};
+
+/// Builds the utilization table from a recorded trace. Processor tracks are
+/// [0, num_processors); `end_time` is the horizon (pass the run's response
+/// time) and `num_buckets` the resolution. Span classification:
+/// kTask/kTaskCreation minus nested I/O count as busy; kBufferMiss and
+/// kBufferRemoteHit as I/O wait; kSteal as steal; the rest of each bucket
+/// is idle.
+TimelineTable AnalyzeTimeline(const TraceSink& sink, int num_processors,
+                              TraceTime end_time, int num_buckets = 40);
+
+}  // namespace psj::trace
+
+#endif  // PSJ_TRACE_TIMELINE_H_

@@ -1,0 +1,155 @@
+#include "trace/trace_sink.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace psj::trace {
+
+std::string_view ToString(Category category) {
+  switch (category) {
+    case Category::kTask:
+      return "task";
+    case Category::kTaskCreation:
+      return "task-creation";
+    case Category::kNodePair:
+      return "node-pair";
+    case Category::kRefinement:
+      return "refinement";
+    case Category::kBufferLocalHit:
+      return "buffer-local-hit";
+    case Category::kBufferRemoteHit:
+      return "buffer-remote-hit";
+    case Category::kBufferMiss:
+      return "buffer-miss";
+    case Category::kPathBufferHit:
+      return "path-buffer-hit";
+    case Category::kDiskQueue:
+      return "disk-queue";
+    case Category::kDiskService:
+      return "disk-service";
+    case Category::kSteal:
+      return "steal";
+    case Category::kStealRequest:
+      return "steal-request";
+    case Category::kStealFail:
+      return "steal-fail";
+    case Category::kProcess:
+      return "process";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int BucketOf(TraceTime value) {
+  if (value <= 0) {
+    return 0;
+  }
+  // Bucket i >= 1 holds [2^(i-1), 2^i); 63-clz is floor(log2).
+  const int log2 =
+      63 - __builtin_clzll(static_cast<unsigned long long>(value));
+  return std::min(log2 + 1, Histogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::Record(TraceTime value) {
+  PSJ_CHECK_GE(value, 0);
+  ++counts_[static_cast<size_t>(BucketOf(value))];
+  if (total_count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  max_ = std::max(max_, value);
+  sum_ += value;
+  ++total_count_;
+}
+
+TraceTime Histogram::BucketLowerBound(int bucket) {
+  if (bucket <= 0) {
+    return 0;
+  }
+  return TraceTime{1} << (bucket - 1);
+}
+
+int Histogram::HighestBucket() const {
+  for (int i = kNumBuckets - 1; i >= 0; --i) {
+    if (counts_[static_cast<size_t>(i)] > 0) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSink registries
+// ---------------------------------------------------------------------------
+
+size_t TraceSink::CounterIndex(std::string_view name) {
+  const auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end()) {
+    return it->second;
+  }
+  const size_t index = counters_.size();
+  counters_.emplace_back(std::string(name), 0);
+  counter_index_.emplace(std::string(name), index);
+  return index;
+}
+
+void TraceSink::AddCounter(std::string_view name, int64_t delta) {
+  counters_[CounterIndex(name)].second += delta;
+}
+
+void TraceSink::SetCounter(std::string_view name, int64_t value) {
+  counters_[CounterIndex(name)].second = value;
+}
+
+Histogram* TraceSink::histogram(std::string_view name) {
+  const auto it = histogram_index_.find(std::string(name));
+  if (it != histogram_index_.end()) {
+    return histograms_[it->second].get();
+  }
+  const size_t index = histograms_.size();
+  histogram_names_.emplace_back(name);
+  histograms_.push_back(std::make_unique<Histogram>());
+  histogram_index_.emplace(std::string(name), index);
+  return histograms_[index].get();
+}
+
+const Histogram* TraceSink::FindHistogram(std::string_view name) const {
+  const auto it = histogram_index_.find(std::string(name));
+  return it == histogram_index_.end() ? nullptr
+                                      : histograms_[it->second].get();
+}
+
+void TraceSink::SetTrackName(int32_t track, std::string name) {
+  track_names_[track] = std::move(name);
+}
+
+std::string TraceSink::TrackName(int32_t track) const {
+  const auto it = track_names_.find(track);
+  if (it != track_names_.end()) {
+    return it->second;
+  }
+  return "track " + std::to_string(track);
+}
+
+std::vector<int32_t> TraceSink::Tracks() const {
+  std::vector<int32_t> tracks;
+  tracks.reserve(track_names_.size());
+  for (const auto& [track, name] : track_names_) {
+    tracks.push_back(track);
+  }
+  for (const TraceEvent& event : events_) {
+    tracks.push_back(event.track);
+  }
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+  return tracks;
+}
+
+}  // namespace psj::trace

@@ -1,0 +1,103 @@
+#include "util/json_writer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace psj {
+
+void JsonWriter::Indent() {
+  out_.append(2 * container_has_items_.size(), ' ');
+}
+
+void JsonWriter::BeginValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!container_has_items_.empty()) {
+    if (container_has_items_.back()) {
+      out_ += ',';
+    }
+    container_has_items_.back() = true;
+    out_ += '\n';
+    Indent();
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeginValue();
+  out_ += '{';
+  container_has_items_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  const bool had_items = container_has_items_.back();
+  container_has_items_.pop_back();
+  if (had_items) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeginValue();
+  out_ += '[';
+  container_has_items_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  const bool had_items = container_has_items_.back();
+  container_has_items_.pop_back();
+  if (had_items) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  BeginValue();
+  out_ += '"';
+  out_ += key;
+  out_ += "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeginValue();
+  out_ += '"';
+  out_ += value;
+  out_ += '"';
+}
+
+void JsonWriter::Double(double value) {
+  BeginValue();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeginValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeginValue();
+  out_ += value ? "true" : "false";
+}
+
+bool JsonWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace psj

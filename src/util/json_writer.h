@@ -1,0 +1,46 @@
+#ifndef PSJ_UTIL_JSON_WRITER_H_
+#define PSJ_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psj {
+
+/// \brief Minimal streaming JSON emitter for machine-readable output — the
+/// BENCH_*.json files, `psj_cli join --json`, and the Chrome trace exporter.
+///
+/// Usage follows the document structure: BeginObject/EndObject,
+/// BeginArray/EndArray, Key inside objects, then one of the value emitters.
+/// Output is pretty-printed with two-space indentation. No escaping beyond
+/// the JSON control set is attempted — keys and values are ASCII labels.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Double(double value);
+  void Int(int64_t value);
+  void Bool(bool value);
+
+  const std::string& str() const { return out_; }
+  /// Writes the document to `path` (with a trailing newline); returns false
+  /// on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  void BeginValue();
+  void Indent();
+
+  std::string out_;
+  std::vector<bool> container_has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_UTIL_JSON_WRITER_H_

@@ -137,6 +137,47 @@ TEST_P(ParallelJoinVariantTest, CandidatesAndAnswersMatchSequential) {
       << "duplicates under " << config.Describe();
 }
 
+// The derived accounting fields must be consistent for every buffer /
+// assignment / reassignment variant: response time is the slowest
+// processor's finish time, idle time is exactly the non-busy remainder of
+// each processor's active window (task creation counts as busy on cpu 0),
+// and the per-processor disk queue waits partition the aggregate.
+TEST_P(ParallelJoinVariantTest, DerivedStatsInvariants) {
+  const VariantParam& param = GetParam();
+  ParallelJoinConfig config;
+  config.buffer_type = param.buffer;
+  config.assignment = param.assignment;
+  config.reassignment = param.reassignment;
+  config.victim_policy = param.victim;
+  config.num_processors = 7;
+  config.num_disks = 4;
+  config.total_buffer_pages = 210;
+  const JoinStats stats = MustRun(config).stats;
+
+  sim::SimTime max_finish = 0;
+  sim::SimTime idle_sum = 0;
+  sim::SimTime queue_wait_sum = 0;
+  for (size_t i = 0; i < stats.per_processor.size(); ++i) {
+    const ProcessorStats& p = stats.per_processor[i];
+    max_finish = std::max(max_finish, p.last_work_time);
+    const sim::SimTime non_idle =
+        p.busy_time + (i == 0 ? stats.task_creation_time : 0);
+    EXPECT_EQ(p.idle_time,
+              std::max<sim::SimTime>(p.last_work_time - non_idle, 0))
+        << "cpu " << i << " under " << config.Describe();
+    EXPECT_GE(p.idle_time, 0) << "cpu " << i;
+    EXPECT_LE(p.idle_time, p.last_work_time) << "cpu " << i;
+    // Queue waits happen inside disk reads, which happen inside tasks.
+    EXPECT_LE(p.disk_queue_wait, p.busy_time + stats.task_creation_time)
+        << "cpu " << i << " under " << config.Describe();
+    idle_sum += p.idle_time;
+    queue_wait_sum += p.disk_queue_wait;
+  }
+  EXPECT_EQ(stats.response_time, max_finish) << config.Describe();
+  EXPECT_EQ(stats.total_idle_time, idle_sum) << config.Describe();
+  EXPECT_EQ(stats.total_disk_wait, queue_wait_sum) << config.Describe();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllVariants, ParallelJoinVariantTest,
     ::testing::Values(

@@ -8,11 +8,14 @@
 // concurrent sweeps) claim they change no virtual-time result.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "core/experiment.h"
 #include "sim/fiber_context.h"
 #include "sim/simulation.h"
+#include "trace/chrome_trace.h"
+#include "trace/trace_sink.h"
 
 namespace psj {
 namespace {
@@ -65,6 +68,39 @@ TEST(SimDeterminismTest, FiberAndThreadBackendsAgreeBitIdentically) {
       RunOnce(ProbeConfig(sim::SchedulerBackend::kFiber));
   EXPECT_GT(threaded.stats.total_candidates, 0);
   EXPECT_EQ(threaded, fibered);
+}
+
+// Tracing inherits the determinism contract: the recorded event stream is a
+// pure function of the virtual-time schedule, so the exported Chrome trace
+// is byte-identical across backends — and recording must not perturb the
+// join result itself.
+TEST(SimDeterminismTest, TraceExportIsByteIdenticalAcrossBackends) {
+  if (!sim::FiberContext::Supported()) {
+    GTEST_SKIP() << "fiber backend not available in this build";
+  }
+  const auto traced_run = [](sim::SchedulerBackend backend,
+                             std::string* exported) {
+    trace::TraceSink sink;
+    ParallelJoinConfig config = ProbeConfig(backend);
+    config.trace = &sink;
+    const JoinResult result = RunOnce(config);
+    *exported = trace::ExportChromeTrace(sink);
+    return result;
+  };
+  std::string threaded_json;
+  std::string fibered_json;
+  const JoinResult threaded =
+      traced_run(sim::SchedulerBackend::kThread, &threaded_json);
+  const JoinResult fibered =
+      traced_run(sim::SchedulerBackend::kFiber, &fibered_json);
+  EXPECT_EQ(threaded, fibered);
+  EXPECT_FALSE(threaded_json.empty());
+  EXPECT_EQ(threaded_json, fibered_json);
+
+  // Recording events must not change the virtual-time outcome.
+  const JoinResult untraced =
+      RunOnce(ProbeConfig(sim::SchedulerBackend::kThread));
+  EXPECT_EQ(untraced, threaded);
 }
 
 TEST(SimDeterminismTest, ParallelDriverMatchesSequentialBitIdentically) {

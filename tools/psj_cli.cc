@@ -30,6 +30,10 @@
 #include "data/generator.h"
 #include "data/map_builder.h"
 #include "storage/page_file.h"
+#include "trace/chrome_trace.h"
+#include "trace/timeline.h"
+#include "trace/trace_sink.h"
+#include "util/json_writer.h"
 #include "util/string_util.h"
 
 namespace psj {
@@ -54,6 +58,18 @@ std::string StringFlag(int argc, char** argv, const char* key,
                        const std::string& fallback) {
   const char* value = FlagValue(argc, argv, key);
   return value != nullptr ? value : fallback;
+}
+
+// True for bare "--key" or "--key=<nonzero>".
+bool BoolFlag(int argc, char** argv, const char* key) {
+  const std::string bare = std::string("--") + key;
+  for (int i = 2; i < argc; ++i) {
+    if (bare == argv[i]) {
+      return true;
+    }
+  }
+  const char* value = FlagValue(argc, argv, key);
+  return value != nullptr && std::atoi(value) != 0;
 }
 
 // Parses the --backend flag shared by the simulating subcommands. The
@@ -230,7 +246,7 @@ ParallelJoinConfig JoinConfigFromFlags(int argc, char** argv, bool* ok) {
 // host threads; 0 = one per hardware thread).
 int RunJoinSweep(const ParallelSpatialJoin& join,
                  const ParallelJoinConfig& base, const std::string& sweep,
-                 int jobs) {
+                 int jobs, bool as_json) {
   std::vector<ParallelJoinConfig> configs;
   for (const std::string& field : SplitString(sweep, ',')) {
     const int n = std::atoi(field.c_str());
@@ -244,18 +260,39 @@ int RunJoinSweep(const ParallelSpatialJoin& join,
     configs.push_back(config);
   }
   const ExperimentDriver driver(jobs);
-  std::printf("sweep: %zu runs on %d host threads\n\n", configs.size(),
-              driver.num_threads());
+  if (!as_json) {
+    std::printf("sweep: %zu runs on %d host threads\n\n", configs.size(),
+                driver.num_threads());
+  }
   const auto results = driver.RunAll(join, configs);
-  std::printf("%-6s %14s %14s %10s\n", "n", "response (s)",
-              "disk accesses", "speedup");
-  double base_time = 0.0;
   for (size_t i = 0; i < results.size(); ++i) {
     if (!results[i].ok()) {
       std::fprintf(stderr, "error: run %zu: %s\n", i,
                    results[i].status().ToString().c_str());
       return 1;
     }
+  }
+  if (as_json) {
+    JsonWriter out;
+    out.BeginArray();
+    for (size_t i = 0; i < results.size(); ++i) {
+      out.BeginObject();
+      out.Key("processors");
+      out.Int(configs[i].num_processors);
+      out.Key("disks");
+      out.Int(configs[i].num_disks);
+      out.Key("stats");
+      results[i]->stats.WriteJson(out);
+      out.EndObject();
+    }
+    out.EndArray();
+    std::printf("%s\n", out.str().c_str());
+    return 0;
+  }
+  std::printf("%-6s %14s %14s %10s\n", "n", "response (s)",
+              "disk accesses", "speedup");
+  double base_time = 0.0;
+  for (size_t i = 0; i < results.size(); ++i) {
     const JoinStats& stats = results[i]->stats;
     const auto seconds = static_cast<double>(stats.response_time);
     if (i == 0) {
@@ -275,24 +312,59 @@ int CmdJoin(int argc, char** argv) {
     return 1;
   }
   bool ok = false;
-  const ParallelJoinConfig config = JoinConfigFromFlags(argc, argv, &ok);
+  ParallelJoinConfig config = JoinConfigFromFlags(argc, argv, &ok);
   if (!ok) {
     return 2;
   }
-  std::printf("config: %s\n\n", config.Describe().c_str());
+  const bool as_json = BoolFlag(argc, argv, "json");
+  const std::string trace_path = StringFlag(argc, argv, "trace", "");
+  const bool want_timeline = BoolFlag(argc, argv, "timeline");
+  const std::string sweep = StringFlag(argc, argv, "sweep", "");
+  if (!sweep.empty() && (!trace_path.empty() || want_timeline)) {
+    std::fprintf(stderr,
+                 "error: --trace/--timeline record a single run and cannot "
+                 "be combined with --sweep\n");
+    return 2;
+  }
+  if (!as_json) {
+    std::printf("config: %s\n\n", config.Describe().c_str());
+  }
   ParallelSpatialJoin join(&dataset->tree_r, &dataset->tree_s,
                            &dataset->store_r, &dataset->store_s);
-  const std::string sweep = StringFlag(argc, argv, "sweep", "");
   if (!sweep.empty()) {
-    return RunJoinSweep(join, config, sweep,
-                        IntFlag(argc, argv, "jobs", 0));
+    return RunJoinSweep(join, config, sweep, IntFlag(argc, argv, "jobs", 0),
+                        as_json);
+  }
+  trace::TraceSink sink;
+  if (!trace_path.empty() || want_timeline) {
+    config.trace = &sink;
   }
   auto result = join.Run(config);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s", result->stats.Summary().c_str());
+  if (as_json) {
+    JsonWriter out;
+    result->stats.WriteJson(out);
+    std::printf("%s\n", out.str().c_str());
+  } else {
+    std::printf("%s", result->stats.Summary().c_str());
+  }
+  if (want_timeline) {
+    const trace::TimelineTable table = trace::AnalyzeTimeline(
+        sink, config.num_processors, result->stats.response_time);
+    std::printf("\n%s", table.Format().c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!trace::WriteChromeTrace(sink, trace_path)) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote Chrome trace (%zu events) to %s\n",
+                 sink.events().size(), trace_path.c_str());
+  }
   return 0;
 }
 
@@ -362,7 +434,8 @@ int Usage() {
       "           [--disks=N] [--buffer=N] [--reassign=none|root|all]\n"
       "           [--placement=modulo|hilbert] [--second-filter=0|1]\n"
       "           [--backend=default|thread|fiber]\n"
-      "           [--sweep=n1,n2,...] [--jobs=N]\n"
+      "           [--sweep=n1,n2,...] [--jobs=N] [--json]\n"
+      "           [--trace=OUT.json] [--timeline]\n"
       "  window   --prefix=P --rect=xl,yl,xu,yu [--processors=N]\n"
       "           [--backend=default|thread|fiber]\n"
       "  knn      --prefix=P --point=x,y [--k=N]\n");
