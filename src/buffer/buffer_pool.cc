@@ -1,6 +1,7 @@
 #include "buffer/buffer_pool.h"
 
 #include "util/check.h"
+#include "util/string_util.h"
 
 namespace psj {
 
@@ -24,6 +25,15 @@ std::vector<LruBuffer> MakeBuffers(int num_processors, size_t total_pages) {
     buffers.emplace_back(capacity);
   }
   return buffers;
+}
+
+std::deque<check::Region> MakeRegions(const char* prefix,
+                                      int num_processors) {
+  std::deque<check::Region> regions;
+  for (int i = 0; i < num_processors; ++i) {
+    regions.emplace_back(StringPrintf("%s.cpu%d", prefix, i));
+  }
+  return regions;
 }
 
 }  // namespace
@@ -57,14 +67,22 @@ LocalBufferPool::LocalBufferPool(int num_processors, size_t total_pages,
     : disks_(disks),
       costs_(costs),
       buffers_(MakeBuffers(num_processors, total_pages)),
-      stats_(static_cast<size_t>(num_processors)) {
+      stats_(static_cast<size_t>(num_processors)),
+      regions_(MakeRegions("buffer.local", num_processors)) {
   PSJ_CHECK(disks != nullptr);
+}
+
+void LocalBufferPool::set_check(check::AccessRegistry* registry) {
+  for (auto& region : regions_) {
+    region.Bind(registry);
+  }
 }
 
 PageSource LocalBufferPool::DoFetchPage(sim::Process& p, const PageId& page,
                                       bool is_data_page) {
   const size_t cpu = static_cast<size_t>(p.id());
   PSJ_CHECK_LT(cpu, buffers_.size());
+  regions_[cpu].NoteWrite(p, "LocalBufferPool::Fetch");
   LruBuffer& buffer = buffers_[cpu];
   BufferAccessStats& stats = stats_[cpu];
   if (buffer.Touch(page)) {
@@ -99,6 +117,10 @@ int GlobalBufferPool::OwnerOf(const PageId& page) const {
   return it == directory_.end() ? -1 : it->second;
 }
 
+void GlobalBufferPool::set_check(check::AccessRegistry* registry) {
+  region_.Bind(registry);
+}
+
 PageSource GlobalBufferPool::DoFetchPage(sim::Process& p, const PageId& page,
                                        bool is_data_page) {
   const int cpu = p.id();
@@ -106,8 +128,17 @@ PageSource GlobalBufferPool::DoFetchPage(sim::Process& p, const PageId& page,
   BufferAccessStats& stats = stats_[static_cast<size_t>(cpu)];
 
   // The directory lives in shared virtual memory: establish virtual-time
-  // order before reading it, then charge the lookup/locking cost.
+  // order before reading it, then charge the lookup/locking cost. The
+  // annotation is stamped at the Sync — the serialization point whose ties
+  // the dispatcher breaks; in the lookahead model the shared-state effect
+  // happens at dispatch time — and is keyed by the page, since directory
+  // operations on distinct pages commute. A probe racing a fill of the
+  // *same* page is the genuine hazard (hit or miss depends on the
+  // tie-break); same-page probes commute too (the recency refresh is
+  // idempotent), hence a keyed read.
   p.Sync();
+  region_.NoteReadKeyed(p, "GlobalBufferPool::Fetch/probe",
+                        PageIdHash()(page));
   p.Advance(costs_.directory_access);
   const int owner = OwnerOf(page);
 
@@ -135,10 +166,14 @@ PageSource GlobalBufferPool::DoFetchPage(sim::Process& p, const PageId& page,
   // processors may have fetched the same page; re-check so the directory
   // never maps one page to two owners.
   p.Sync();
+  region_.NoteWriteKeyed(p, "GlobalBufferPool::Fetch/fill",
+                         PageIdHash()(page));
   const int owner_now = OwnerOf(page);
   if (owner_now < 0) {
     const std::optional<PageId> evicted = buffer.InsertAndMaybeEvict(page);
     if (evicted.has_value() && *evicted != page) {
+      region_.NoteWriteKeyed(p, "GlobalBufferPool::Fetch/evict",
+                             PageIdHash()(*evicted));
       directory_.erase(*evicted);
     }
     if (buffer.Contains(page)) {
@@ -163,12 +198,19 @@ SharedNothingBufferPool::SharedNothingBufferPool(int num_processors,
     : disks_(disks),
       costs_(costs),
       buffers_(MakeBuffers(num_processors, total_pages)),
-      stats_(static_cast<size_t>(num_processors)) {
+      stats_(static_cast<size_t>(num_processors)),
+      regions_(MakeRegions("buffer.shared_nothing", num_processors)) {
   PSJ_CHECK(disks != nullptr);
 }
 
 int SharedNothingBufferPool::OwnerOf(const PageId& page) const {
   return disks_->DiskOf(page) % num_processors();
+}
+
+void SharedNothingBufferPool::set_check(check::AccessRegistry* registry) {
+  for (auto& region : regions_) {
+    region.Bind(registry);
+  }
 }
 
 PageSource SharedNothingBufferPool::DoFetchPage(sim::Process& p,
@@ -181,6 +223,8 @@ PageSource SharedNothingBufferPool::DoFetchPage(sim::Process& p,
   LruBuffer& owner_buffer = buffers_[static_cast<size_t>(owner)];
 
   if (owner == cpu) {
+    regions_[static_cast<size_t>(owner)].NoteWrite(
+        p, "SharedNothingBufferPool::Fetch/own");
     if (owner_buffer.Touch(page)) {
       p.Advance(costs_.local_hit);
       ++stats.local_hits;
@@ -200,6 +244,8 @@ PageSource SharedNothingBufferPool::DoFetchPage(sim::Process& p,
   // its disk must work. (The owner-side CPU is not modeled as a resource —
   // serving a buffered page is memory-bound on the interconnect.)
   p.Sync();
+  regions_[static_cast<size_t>(owner)].NoteWrite(
+      p, "SharedNothingBufferPool::Fetch/rpc");
   p.Advance(costs_.rpc_request);
   if (owner_buffer.Touch(page)) {
     p.Advance(costs_.remote_hit);
@@ -208,6 +254,8 @@ PageSource SharedNothingBufferPool::DoFetchPage(sim::Process& p,
   }
   disks_->ReadPage(p, page, is_data_page);
   p.Sync();
+  regions_[static_cast<size_t>(owner)].NoteWrite(
+      p, "SharedNothingBufferPool::Fetch/fill");
   owner_buffer.InsertAndMaybeEvict(page);
   p.Advance(costs_.remote_hit);
   ++stats.disk_reads;

@@ -1,11 +1,13 @@
 #ifndef PSJ_BUFFER_BUFFER_POOL_H_
 #define PSJ_BUFFER_BUFFER_POOL_H_
 
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "buffer/lru_buffer.h"
+#include "check/access_registry.h"
 #include "sim/simulation.h"
 #include "storage/disk_array.h"
 #include "storage/page.h"
@@ -68,6 +70,10 @@ class BufferPool {
   /// Attaches an event sink; null (the default) disables tracing.
   void set_trace(trace::TraceSink* trace) { trace_ = trace; }
 
+  /// Binds the virtual-time race detector to the pool's shared structures
+  /// (directory, LRU partitions); null (the default) disables checking.
+  virtual void set_check(check::AccessRegistry* registry) = 0;
+
   /// Per-processor statistics; `cpu` in [0, num_processors).
   virtual const BufferAccessStats& stats(int cpu) const = 0;
 
@@ -95,6 +101,10 @@ class LocalBufferPool : public BufferPool {
   PageSource DoFetchPage(sim::Process& p, const PageId& page,
                          bool is_data_page) override;
 
+  /// One region per processor: a local buffer is only ever touched by its
+  /// owner, so binding the detector *proves* that isolation.
+  void set_check(check::AccessRegistry* registry) override;
+
   const BufferAccessStats& stats(int cpu) const override;
   int num_processors() const override {
     return static_cast<int>(buffers_.size());
@@ -109,6 +119,7 @@ class LocalBufferPool : public BufferPool {
   const BufferCosts costs_;
   std::vector<LruBuffer> buffers_;
   std::vector<BufferAccessStats> stats_;
+  std::deque<check::Region> regions_;
 };
 
 /// \brief The SVM global buffer (§3.2): the union of all local buffers with
@@ -126,6 +137,11 @@ class GlobalBufferPool : public BufferPool {
 
   PageSource DoFetchPage(sim::Process& p, const PageId& page,
                          bool is_data_page) override;
+
+  /// The directory and the LRU union are one shared structure: every fetch
+  /// is a write (probe touches recency, fill inserts/evicts), so two
+  /// fetches at the same virtual time are a determinism hazard.
+  void set_check(check::AccessRegistry* registry) override;
 
   const BufferAccessStats& stats(int cpu) const override;
   int num_processors() const override {
@@ -145,6 +161,7 @@ class GlobalBufferPool : public BufferPool {
   std::vector<LruBuffer> buffers_;
   std::vector<BufferAccessStats> stats_;
   std::unordered_map<PageId, int, PageIdHash> directory_;
+  check::Region region_{"buffer.global"};
 };
 
 /// \brief Shared-nothing buffer organization (our extension, after the
@@ -165,6 +182,10 @@ class SharedNothingBufferPool : public BufferPool {
   PageSource DoFetchPage(sim::Process& p, const PageId& page,
                          bool is_data_page) override;
 
+  /// One region per *owner* buffer: foreign requesters write the owner's
+  /// region, so a same-time RPC pair on one owner is reported.
+  void set_check(check::AccessRegistry* registry) override;
+
   const BufferAccessStats& stats(int cpu) const override;
   int num_processors() const override {
     return static_cast<int>(buffers_.size());
@@ -183,6 +204,7 @@ class SharedNothingBufferPool : public BufferPool {
   const BufferCosts costs_;
   std::vector<LruBuffer> buffers_;
   std::vector<BufferAccessStats> stats_;
+  std::deque<check::Region> regions_;
 };
 
 /// Splits `total_pages` across `num_processors` buffers, remainder going to

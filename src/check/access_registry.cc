@@ -1,0 +1,93 @@
+#include "check/access_registry.h"
+
+#include "util/string_util.h"
+
+namespace psj::check {
+
+namespace {
+
+std::string DescribeAccess(const Access& access) {
+  std::string text =
+      StringPrintf("%s by cpu %d at t=%lld us (epoch %lld, %s)",
+                   access.is_write ? "write" : "read", access.process,
+                   static_cast<long long>(access.time),
+                   static_cast<long long>(access.epoch),
+                   access.site != nullptr ? access.site : "?");
+  if (access.keyed) {
+    text += StringPrintf(" key=%016llx",
+                         static_cast<unsigned long long>(access.key));
+  }
+  return text;
+}
+
+/// Conflict rule: different simulated processors, at least one write, and
+/// — when both accesses are entry-keyed — the same entry.
+bool Conflicts(const Access& a, const Access& b) {
+  return a.process != b.process && (a.is_write || b.is_write) &&
+         (!a.keyed || !b.keyed || a.key == b.key);
+}
+
+}  // namespace
+
+std::string Hazard::Describe() const {
+  return StringPrintf(
+      "determinism hazard at '%s': %s conflicts with %s — dispatch order "
+      "between the two is an undefined tie-break, so the result depends on "
+      "it",
+      location.c_str(), DescribeAccess(first).c_str(),
+      DescribeAccess(second).c_str());
+}
+
+void Region::Note(const Access& access) {
+  registry_->CountAccess();
+  if (access.time != current_time_) {
+    // Time moved on: everything earlier is ordered before this access by
+    // virtual time itself, so no conflict is possible. Start a new window.
+    current_time_ = access.time;
+    window_.clear();
+    window_.push_back(access);
+    return;
+  }
+  bool already_recorded = false;
+  for (const Access& prev : window_) {
+    if (Conflicts(prev, access)) {
+      registry_->Report(*this, prev, access);
+    }
+    already_recorded =
+        already_recorded ||
+        (prev.site == access.site && prev.process == access.process &&
+         prev.is_write == access.is_write && prev.keyed == access.keyed &&
+         prev.key == access.key);
+  }
+  if (!already_recorded) {
+    window_.push_back(access);
+  }
+}
+
+void AccessRegistry::Report(const Region& region, const Access& first,
+                            const Access& second) {
+  if (!reported_.emplace(&region, first.site, second.site).second) {
+    return;
+  }
+  hazards_.push_back(Hazard{region.name(), first, second});
+}
+
+std::string AccessRegistry::Summary() const {
+  if (hazards_.empty()) {
+    return StringPrintf(
+        "determinism check: no hazards (%lld annotated accesses)\n",
+        static_cast<long long>(num_accesses_));
+  }
+  std::string out = StringPrintf(
+      "determinism check: %zu hazard%s (%lld annotated accesses)\n",
+      hazards_.size(), hazards_.size() == 1 ? "" : "s",
+      static_cast<long long>(num_accesses_));
+  for (const Hazard& hazard : hazards_) {
+    out += "  ";
+    out += hazard.Describe();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace psj::check

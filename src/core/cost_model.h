@@ -35,6 +35,8 @@ struct CostModel {
 
   // Coordination costs.
   sim::SimTime task_queue_access = 50;         // Shared task queue pop.
+  sim::SimTime task_ready_notify = 10;         // Posting "tasks ready" to
+                                               // one waiting processor.
   sim::SimTime reassign_message_delay = 200;   // Help request/reply latency.
   sim::SimTime reassign_handling_cpu = 300;    // Victim splits its workload.
   sim::SimTime idle_poll_interval = 2 * sim::kMillisecond;

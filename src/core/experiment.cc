@@ -8,6 +8,8 @@
 
 #include "join/node_match.h"
 #include "storage/page_file.h"
+#include "trace/chrome_trace.h"
+#include "trace/trace_sink.h"
 #include "util/string_util.h"
 
 namespace psj {
@@ -95,6 +97,65 @@ std::vector<StatusOr<JoinResult>> PaperWorkload::RunJoins(
     const std::vector<ParallelJoinConfig>& configs, int num_threads) const {
   const ParallelSpatialJoin join(&tree_r_, &tree_s_, &store_r_, &store_s_);
   return ExperimentDriver(num_threads).RunAll(join, configs);
+}
+
+TieBreakInvarianceReport VerifyTieBreakInvariance(
+    const PaperWorkload& workload, ParallelJoinConfig config,
+    const std::vector<uint64_t>& seeds) {
+  TieBreakInvarianceReport report;
+  report.results_identical = true;
+  report.traces_identical = true;
+
+  // The identity run is the reference every seeded permutation must match.
+  const auto run_one = [&](const sim::TieBreak& tiebreak)
+      -> StatusOr<std::pair<JoinResult, std::string>> {
+    trace::TraceSink sink;
+    ParallelJoinConfig run_config = config;
+    run_config.tiebreak = tiebreak;
+    run_config.trace = &sink;
+    auto result = workload.RunJoin(run_config);
+    if (!result.ok()) {
+      return result.status();
+    }
+    return std::make_pair(std::move(*result), trace::ExportChromeTrace(sink));
+  };
+
+  auto reference = run_one(sim::TieBreak::Id());
+  report.num_runs = 1;
+  if (!reference.ok()) {
+    report.results_identical = false;
+    report.divergence = StringPrintf("identity run failed: %s",
+                                     reference.status().message().c_str());
+    return report;
+  }
+  for (const uint64_t seed : seeds) {
+    auto seeded = run_one(sim::TieBreak::Seeded(seed));
+    ++report.num_runs;
+    if (!seeded.ok()) {
+      report.results_identical = false;
+      report.divergence = StringPrintf(
+          "seed %llu failed: %s", static_cast<unsigned long long>(seed),
+          seeded.status().message().c_str());
+      return report;
+    }
+    if (!(seeded->first == reference->first)) {
+      report.results_identical = false;
+      if (report.divergence.empty()) {
+        report.divergence = StringPrintf(
+            "seed %llu: JoinResult differs from the identity tie-break",
+            static_cast<unsigned long long>(seed));
+      }
+    }
+    if (seeded->second != reference->second) {
+      report.traces_identical = false;
+      if (report.divergence.empty()) {
+        report.divergence = StringPrintf(
+            "seed %llu: exported trace differs from the identity tie-break",
+            static_cast<unsigned long long>(seed));
+      }
+    }
+  }
+  return report;
 }
 
 ExperimentDriver::ExperimentDriver(int num_threads)

@@ -80,6 +80,30 @@ class PaperWorkload {
   RStarTree tree_s_;
 };
 
+/// \brief Outcome of a tie-break perturbation check (the dynamic half of
+/// the determinism analysis; see check/access_registry.h for the other).
+struct TieBreakInvarianceReport {
+  int num_runs = 0;              // Identity run + one per seed.
+  bool results_identical = false;
+  bool traces_identical = false;
+  /// Empty when ok(); otherwise names the first diverging seed and what
+  /// differed.
+  std::string divergence;
+
+  bool ok() const { return results_identical && traces_identical; }
+};
+
+/// Runs `config` once with the identity tie-break and once per entry of
+/// `seeds` with a seeded tie-break permutation (sim::TieBreak::Seeded),
+/// each run tracing into a fresh sink. Equal-virtual-time dispatch order is
+/// reshuffled by every seed, so any same-time shared-state access whose
+/// order matters shows up as a diverging JoinResult or a diverging
+/// exported Chrome trace. A passing report means the run's results are a
+/// pure function of the simulation model, byte for byte.
+TieBreakInvarianceReport VerifyTieBreakInvariance(
+    const PaperWorkload& workload, ParallelJoinConfig config,
+    const std::vector<uint64_t>& seeds);
+
 /// \brief Parallel experiment driver: a small thread pool that executes
 /// mutually independent simulated joins concurrently over a shared const
 /// workload.

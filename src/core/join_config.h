@@ -2,9 +2,11 @@
 #define PSJ_CORE_JOIN_CONFIG_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
+#include "check/access_registry.h"
 #include "core/cost_model.h"
 #include "core/placement.h"
 #include "sim/simulation.h"
@@ -110,6 +112,21 @@ struct ParallelJoinConfig {
   /// test. The sink must outlive the run; like the statistics, recording is
   /// backend-invariant and bit-reproducible.
   trace::TraceSink* trace = nullptr;
+
+  /// Tie-break policy for equal-resume-time dispatches. Unset — the
+  /// default — reads PSJ_SIM_TIEBREAK from the environment (spawn order
+  /// when that is unset too). Seeded policies reshuffle the dispatch order
+  /// of simultaneously ready processors; every result and trace must be
+  /// invariant under them (the determinism suite asserts it).
+  std::optional<sim::TieBreak> tiebreak;
+
+  /// Virtual-time race detector (see check/access_registry.h): when set,
+  /// the annotated shared state — task queue, steal path, buffer pools,
+  /// disk queues, driver flags — reports same-virtual-time conflicts as
+  /// hazards. Null — the default — disables checking entirely: every
+  /// annotation reduces to one pointer test. The registry must outlive the
+  /// run.
+  check::AccessRegistry* check = nullptr;
 
   /// Convenience constructors for the paper's variants.
   static ParallelJoinConfig Lsr();

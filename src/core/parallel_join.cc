@@ -32,7 +32,7 @@ class JoinDriver {
         match_options_{config.use_search_space_restriction,
                        config.use_plane_sweep},
         num_levels_(std::max(tree_r.height(), tree_s.height())),
-        scheduler_(config.scheduler_backend),
+        scheduler_(config.scheduler_backend, config.tiebreak),
         disks_(config.num_disks, config.costs.disk),
         pool_(config.num_processors, num_levels_, config.costs,
               config.seed) {
@@ -75,6 +75,9 @@ class JoinDriver {
       second_filter_s_ = std::make_unique<SecondFilter>(
           *objects_s_, config_.second_filter_sections);
     }
+    for (int i = 0; i < n; ++i) {
+      stats_regions_.emplace_back(StringPrintf("join.stats.cpu%d", i));
+    }
     if (config_.trace != nullptr) {
       trace_ = config_.trace;
       scheduler_.set_trace(trace_);
@@ -85,6 +88,15 @@ class JoinDriver {
         trace_->SetTrackName(i, StringPrintf("cpu %d", i));
       }
       task_duration_histogram_ = trace_->histogram("task_duration_us");
+    }
+    if (config_.check != nullptr) {
+      disks_.BindCheck(config_.check);
+      buffers_->set_check(config_.check);
+      pool_.set_check(config_.check);
+      tasks_ready_.Bind(config_.check);
+      for (auto& region : stats_regions_) {
+        region.Bind(config_.check);
+      }
     }
   }
 
@@ -133,9 +145,13 @@ class JoinDriver {
       CreateAndAssignTasks(p);
     } else {
       // Phases 1 and 2 run sequentially on processor 0 (§3.1); the others
-      // wait for the work to appear.
-      while (!tasks_ready_) {
-        p.WaitUntil(p.now() + config_.costs.idle_poll_interval);
+      // sleep until it posts the ready flag. Processor 0 notifies them one
+      // by one, so each worker resumes at a distinct virtual time — were
+      // they all to poll on a common interval instead, they would hit the
+      // shared task queue simultaneously and the task assignment would be
+      // decided by the scheduler's tie-break.
+      while (!tasks_ready_.Read(p, "JoinDriver::ProcessorBody/wait")) {
+        p.Block();
       }
     }
     WorkLoop(p);
@@ -254,7 +270,17 @@ class JoinDriver {
                    creation_start, p.now(), num_tasks_, task_level_);
     }
     p.Sync();
-    tasks_ready_ = true;
+    tasks_ready_.Write(p, "JoinDriver::CreateAndAssignTasks/publish", true);
+    // Wake the waiting processors one after another: posting the flag to
+    // each costs task_ready_notify, so worker i enters the work loop
+    // task_ready_notify later than worker i-1 (and processor 0 follows
+    // after the last post) — the first shared accesses are ordered by the
+    // cost model, not by dispatch tie-breaks.
+    for (int i = 1; i < config_.num_processors; ++i) {
+      p.Advance(config_.costs.task_ready_notify);
+      scheduler_.process(i)->MakeReadyIfBlocked(p.now());
+    }
+    p.Advance(config_.costs.task_ready_notify);
   }
 
   // ---- Phase 3: parallel task execution ----
@@ -267,6 +293,7 @@ class JoinDriver {
         const sim::SimTime start = p.now();
         ExecutePair(p, *item);
         pool_.FinishItem(p.id());
+        stats_regions_[cpu].NoteWrite(p, "JoinDriver::WorkLoop/accumulate");
         stats_[cpu].busy_time += p.now() - start;
         stats_[cpu].last_work_time = p.now();
         if (trace_ != nullptr) {
@@ -318,7 +345,7 @@ class JoinDriver {
                                     ns.entries[j].child_page(),
                                     static_cast<int16_t>(pair.level - 1)});
       }
-      pool_.Push(p.id(), children);
+      pool_.Push(p, children);
       return;
     }
 
@@ -415,7 +442,7 @@ class JoinDriver {
   std::unique_ptr<BufferPool> buffers_;
 
   // ---- Shared state (the "shared virtual memory") ----
-  bool tasks_ready_ = false;
+  check::Cell<bool> tasks_ready_{"join.tasks_ready"};
   TaskPool<NodePair> pool_;
   std::vector<PathBuffer> path_buffers_;
   std::unique_ptr<SecondFilter> second_filter_r_;
@@ -426,6 +453,9 @@ class JoinDriver {
   trace::Histogram* task_duration_histogram_ = nullptr;
 
   // ---- Results ----
+  /// Per-processor detector regions over the stats slots (deque: Region is
+  /// pinned).
+  std::deque<check::Region> stats_regions_;
   std::vector<ProcessorStats> stats_;
   std::vector<std::vector<std::pair<uint64_t, uint64_t>>> candidate_pairs_;
   std::vector<std::vector<std::pair<uint64_t, uint64_t>>> answer_pairs_;

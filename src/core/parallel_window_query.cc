@@ -37,7 +37,7 @@ class WindowQueryDriver {
         objects_(objects),
         window_(window),
         config_(config),
-        scheduler_(config.scheduler_backend),
+        scheduler_(config.scheduler_backend, config.tiebreak),
         disks_(config.num_disks, config.costs.disk),
         pool_(config.num_processors, tree.height(), config.costs,
               config.seed) {
@@ -67,6 +67,12 @@ class WindowQueryDriver {
     answer_ids_.resize(static_cast<size_t>(n));
     filter_batches_.resize(static_cast<size_t>(n));
     filter_hits_.resize(static_cast<size_t>(n));
+    if (config_.check != nullptr) {
+      disks_.BindCheck(config_.check);
+      buffers_->set_check(config_.check);
+      pool_.set_check(config_.check);
+      tasks_ready_.Bind(config_.check);
+    }
   }
 
   WindowQueryResult Run() {
@@ -111,8 +117,10 @@ class WindowQueryDriver {
     if (p.id() == 0) {
       CreateAndAssignTasks(p);
     } else {
-      while (!tasks_ready_) {
-        p.WaitUntil(p.now() + config_.costs.idle_poll_interval);
+      // As in the join driver: sleep until processor 0 posts the flag,
+      // which wakes the workers at distinct virtual times.
+      while (!tasks_ready_.Read(p, "WindowQueryDriver::ProcessorBody/wait")) {
+        p.Block();
       }
     }
     WorkLoop(p);
@@ -159,7 +167,13 @@ class WindowQueryDriver {
     pool_.Assign(config_.assignment, tasks, task_level_);
     task_creation_time_ = p.now();
     p.Sync();
-    tasks_ready_ = true;
+    tasks_ready_.Write(p, "WindowQueryDriver::CreateAndAssignTasks/publish",
+                       true);
+    for (int i = 1; i < config_.num_processors; ++i) {
+      p.Advance(config_.costs.task_ready_notify);
+      scheduler_.process(i)->MakeReadyIfBlocked(p.now());
+    }
+    p.Advance(config_.costs.task_ready_notify);
   }
 
   void WorkLoop(sim::Process& p) {
@@ -211,7 +225,7 @@ class WindowQueryDriver {
         children.push_back(PageTask{node.entries[k].child_page(),
                                     static_cast<int16_t>(task.level - 1)});
       }
-      pool_.Push(p.id(), children);
+      pool_.Push(p, children);
       return;
     }
 
@@ -268,7 +282,7 @@ class WindowQueryDriver {
   DiskArrayModel disks_;
   std::unique_ptr<BufferPool> buffers_;
 
-  bool tasks_ready_ = false;
+  check::Cell<bool> tasks_ready_{"window_query.tasks_ready"};
   TaskPool<PageTask> pool_;
   std::vector<PathBuffer> path_buffers_;
   std::vector<RectBatch> filter_batches_;

@@ -1,6 +1,7 @@
 #ifndef PSJ_CORE_PARALLEL_WINDOW_QUERY_H_
 #define PSJ_CORE_PARALLEL_WINDOW_QUERY_H_
 
+#include <optional>
 #include <vector>
 
 #include "core/join_config.h"
@@ -45,6 +46,14 @@ struct WindowQueryConfig {
   /// Execution substrate of the simulated processors; virtual-time results
   /// are backend-invariant.
   sim::SchedulerBackend scheduler_backend = sim::SchedulerBackend::kDefault;
+
+  /// Tie-break policy for equal-resume-time dispatches (see
+  /// ParallelJoinConfig::tiebreak). Unset reads PSJ_SIM_TIEBREAK.
+  std::optional<sim::TieBreak> tiebreak;
+
+  /// Virtual-time race detector; null disables checking (see
+  /// ParallelJoinConfig::check).
+  check::AccessRegistry* check = nullptr;
 
   Status Validate() const;
 };

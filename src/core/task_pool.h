@@ -6,11 +6,13 @@
 #include <optional>
 #include <vector>
 
+#include "check/access_registry.h"
 #include "core/join_config.h"
 #include "core/workload.h"
 #include "sim/simulation.h"
 #include "trace/trace_sink.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace psj {
 
@@ -47,6 +49,8 @@ class TaskPool {
     rngs_.reserve(static_cast<size_t>(num_processors));
     for (int i = 0; i < num_processors; ++i) {
       rngs_.emplace_back(seed + static_cast<uint64_t>(i) * 1000003u);
+      workload_regions_.emplace_back(
+          StringPrintf("task_pool.cpu%d.workload", i));
     }
   }
 
@@ -57,6 +61,18 @@ class TaskPool {
   /// attempt, a kStealRequest instant plus either a kSteal round-trip span
   /// or a kStealFail instant on the thief's track.
   void set_trace(trace::TraceSink* trace) { trace_ = trace; }
+
+  /// Binds the virtual-time race detector; null (the default) disables
+  /// checking. The shared task queue is one region; each processor's
+  /// per-level workload (plus its buddy slot) is another — a steal writes
+  /// the victim's region, so a victim popping at the same virtual time as
+  /// its thief is reported.
+  void set_check(check::AccessRegistry* registry) {
+    queue_region_.Bind(registry);
+    for (auto& region : workload_regions_) {
+      region.Bind(registry);
+    }
+  }
 
   /// Distributes the created tasks (phase 2, §3.1/§3.3). Tasks must be in
   /// local plane-sweep order; `task_level` is their common tree level.
@@ -99,9 +115,15 @@ class TaskPool {
   std::optional<Item> NextItem(sim::Process& p) {
     const size_t cpu = static_cast<size_t>(p.id());
     std::optional<Item> item = workloads_[cpu].PopNext();
+    if (item.has_value()) {
+      workload_regions_[cpu].NoteWrite(p, "TaskPool::NextItem/pop-own");
+    }
     if (!item.has_value() && dynamic_) {
       p.Sync();
-      if (!task_queue_.empty()) {
+      if (task_queue_.empty()) {
+        queue_region_.NoteRead(p, "TaskPool::NextItem/queue-empty");
+      } else {
+        queue_region_.NoteWrite(p, "TaskPool::NextItem/dequeue");
         p.Advance(costs_.task_queue_access);
         item = task_queue_.front();
         task_queue_.pop_front();
@@ -121,7 +143,15 @@ class TaskPool {
   /// Declares the current item of processor `cpu` complete.
   void FinishItem(int cpu) { working_[static_cast<size_t>(cpu)] = 0; }
 
-  /// Adds child work produced while processing an item.
+  /// Adds child work produced by processor `p` while processing an item.
+  void Push(sim::Process& p, const std::vector<Item>& items) {
+    const size_t cpu = static_cast<size_t>(p.id());
+    workload_regions_[cpu].NoteWrite(p, "TaskPool::Push");
+    workloads_[cpu].Push(items);
+  }
+
+  /// Unannotated variant for host-side setup (tests) outside the
+  /// simulation.
   void Push(int cpu, const std::vector<Item>& items) {
     workloads_[static_cast<size_t>(cpu)].Push(items);
   }
@@ -151,6 +181,15 @@ class TaskPool {
                     VictimPolicy policy) {
     const size_t cpu = static_cast<size_t>(p.id());
     const int min_level = MinStealLevel(reassignment);
+    // Victim selection inspects every other processor's workload report; a
+    // victim popping its last stealable item at this same virtual time
+    // would make the choice tie-break-dependent.
+    for (int q = 0; q < num_processors(); ++q) {
+      if (q != p.id()) {
+        workload_regions_[static_cast<size_t>(q)].NoteRead(
+            p, "TaskPool::TryStealWork/survey");
+      }
+    }
     const int victim = ChooseVictim(p.id(), min_level, policy);
     if (victim < 0) {
       p.WaitUntil(p.now() + costs_.idle_poll_interval);
@@ -165,6 +204,8 @@ class TaskPool {
     p.WaitUntil(p.now() + 2 * costs_.reassign_message_delay);
     p.Advance(costs_.reassign_handling_cpu);
     p.Sync();
+    workload_regions_[static_cast<size_t>(victim)].NoteWrite(
+        p, "TaskPool::TryStealWork/steal");
     std::vector<Item> stolen =
         workloads_[static_cast<size_t>(victim)].StealHalf(min_level);
     if (stolen.empty()) {
@@ -184,6 +225,7 @@ class TaskPool {
     counters_[cpu].items_stolen += static_cast<int64_t>(stolen.size());
     counters_[static_cast<size_t>(victim)].items_given +=
         static_cast<int64_t>(stolen.size());
+    workload_regions_[cpu].NoteWrite(p, "TaskPool::TryStealWork/keep");
     workloads_[cpu].Push(stolen);
     buddy_[cpu] = victim;
     buddy_[static_cast<size_t>(victim)] = p.id();
@@ -247,6 +289,10 @@ class TaskPool {
   trace::TraceSink* trace_ = nullptr;
   bool dynamic_ = false;
   int task_level_ = 0;
+  /// Detector regions: the shared queue, then one region per processor
+  /// covering its workload and buddy slot (deque: Region is pinned).
+  check::Region queue_region_{"task_pool.queue"};
+  std::deque<check::Region> workload_regions_;
   std::deque<Item> task_queue_;
   std::vector<PerLevelWorkload<Item>> workloads_;
   std::vector<char> working_;

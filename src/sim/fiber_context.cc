@@ -4,9 +4,9 @@
 
 #include "util/check.h"
 
-// Backend selection. PSJ_HAS_FIBERS is defined by CMake except in sanitizer
-// builds (ASan/TSan/MSan assume each stack belongs to one OS thread; running
-// simulation code on foreign stacks would trip their shadow bookkeeping).
+// Backend selection. PSJ_HAS_FIBERS is defined by CMake except in TSan
+// builds (TSan has no fiber-switch API; ASan builds keep fibers via the
+// __sanitizer_*_switch_fiber annotations below).
 // On x86-64 we use a syscall-free assembly switch; other POSIX platforms use
 // <ucontext.h>, whose swapcontext also saves/restores the signal mask (two
 // sigprocmask syscalls per switch) but still avoids a scheduler roundtrip.
@@ -18,6 +18,24 @@
 
 #if defined(PSJ_FIBER_IMPL_UCONTEXT)
 #include <ucontext.h>
+#endif
+
+// AddressSanitizer needs to be told about stack switches so its fake-stack
+// bookkeeping and stack-use-after-return detection follow the fibers;
+// without the annotations every switch looks like a wild stack change. With
+// them the asan preset can keep the fiber backend (only TSan still forces
+// the thread backend — it has no equivalent fiber API for its happens-
+// before machinery).
+#if defined(__SANITIZE_ADDRESS__)
+#define PSJ_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PSJ_FIBER_ASAN 1
+#endif
+#endif
+
+#if defined(PSJ_FIBER_ASAN)
+#include <sanitizer/common_interface_defs.h>
 #endif
 
 namespace psj::sim {
@@ -36,6 +54,51 @@ size_t StackSizeFromEnv() {
 }
 
 }  // namespace
+
+#if defined(PSJ_FIBER_ASAN)
+
+/// Per-context sanitizer state. The main (thread-stack) context starts with
+/// unknown bounds; they are learned from the out-parameters of the first
+/// __sanitizer_finish_switch_fiber executed after leaving it.
+struct FiberAsanState {
+  const void* stack_bottom = nullptr;
+  size_t stack_size = 0;
+  void* fake_stack = nullptr;  // Saved while this context is suspended.
+};
+
+namespace {
+
+/// The context being suspended by the in-flight switch; set by the switcher
+/// and consumed on the destination stack. One switch is in flight per
+/// thread at a time (the swap itself runs no interleaving code).
+thread_local FiberAsanState* fiber_asan_from = nullptr;
+
+void FiberAsanBeginSwitch(FiberAsanState* from, const FiberAsanState* to) {
+  fiber_asan_from = from;
+  __sanitizer_start_switch_fiber(&from->fake_stack, to->stack_bottom,
+                                 to->stack_size);
+}
+
+/// First statement on the destination stack, both on the return path of a
+/// switch and on first activation of a fresh fiber (`self` null: no fake
+/// stack to restore yet).
+void FiberAsanEndSwitch(FiberAsanState* self) {
+  const void* old_bottom = nullptr;
+  size_t old_size = 0;
+  __sanitizer_finish_switch_fiber(self == nullptr ? nullptr
+                                                  : self->fake_stack,
+                                  &old_bottom, &old_size);
+  FiberAsanState* from = fiber_asan_from;
+  fiber_asan_from = nullptr;
+  if (from != nullptr && from->stack_bottom == nullptr) {
+    from->stack_bottom = old_bottom;
+    from->stack_size = old_size;
+  }
+}
+
+}  // namespace
+
+#endif  // PSJ_FIBER_ASAN
 
 size_t FiberContext::DefaultStackSize() {
   static const size_t size = StackSizeFromEnv();
@@ -97,10 +160,16 @@ struct FiberContext::Impl {
   std::unique_ptr<char[]> stack;  // Owned stack; null for the main context.
   void (*entry)(void*) = nullptr;
   void* arg = nullptr;
+#if defined(PSJ_FIBER_ASAN)
+  FiberAsanState asan;
+#endif
 };
 
 extern "C" void psj_fiber_run_entry(void* impl_erased) {
   auto* impl = static_cast<FiberContext::Impl*>(impl_erased);
+#if defined(PSJ_FIBER_ASAN)
+  FiberAsanEndSwitch(nullptr);
+#endif
   impl->entry(impl->arg);
   PSJ_CHECK(false) << "fiber entry function returned";
 }
@@ -131,12 +200,23 @@ FiberContext::FiberContext(size_t stack_size, void (*entry)(void*), void* arg)
   frame[6] = reinterpret_cast<void*>(&psj_fiber_entry_thunk);
   frame[7] = nullptr;      // Padding: keeps the entry alignment correct.
   impl_->sp = frame;
+#if defined(PSJ_FIBER_ASAN)
+  impl_->asan.stack_bottom = impl_->stack.get();
+  impl_->asan.stack_size = stack_size;
+#endif
 }
 
 FiberContext::~FiberContext() = default;
 
 void FiberContext::SwitchTo(FiberContext& to) {
+#if defined(PSJ_FIBER_ASAN)
+  FiberAsanBeginSwitch(&impl_->asan, &to.impl_->asan);
+#endif
   psj_fiber_swap(&impl_->sp, to.impl_->sp);
+#if defined(PSJ_FIBER_ASAN)
+  // Somebody switched back to us: we are on this context's stack again.
+  FiberAsanEndSwitch(&impl_->asan);
+#endif
 }
 
 bool FiberContext::Supported() { return true; }
@@ -148,6 +228,9 @@ struct FiberContext::Impl {
   std::unique_ptr<char[]> stack;
   void (*entry)(void*) = nullptr;
   void* arg = nullptr;
+#if defined(PSJ_FIBER_ASAN)
+  FiberAsanState asan;
+#endif
 };
 
 namespace {
@@ -157,6 +240,9 @@ void UcontextTrampoline(unsigned hi, unsigned lo) {
   const uintptr_t bits =
       (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo);
   auto* impl = reinterpret_cast<FiberContext::Impl*>(bits);
+#if defined(PSJ_FIBER_ASAN)
+  FiberAsanEndSwitch(nullptr);
+#endif
   impl->entry(impl->arg);
   PSJ_CHECK(false) << "fiber entry function returned";
 }
@@ -178,12 +264,22 @@ FiberContext::FiberContext(size_t stack_size, void (*entry)(void*), void* arg)
   makecontext(&impl_->ctx, reinterpret_cast<void (*)()>(&UcontextTrampoline),
               2, static_cast<unsigned>(bits >> 32),
               static_cast<unsigned>(bits & 0xffffffffu));
+#if defined(PSJ_FIBER_ASAN)
+  impl_->asan.stack_bottom = impl_->stack.get();
+  impl_->asan.stack_size = stack_size;
+#endif
 }
 
 FiberContext::~FiberContext() = default;
 
 void FiberContext::SwitchTo(FiberContext& to) {
+#if defined(PSJ_FIBER_ASAN)
+  FiberAsanBeginSwitch(&impl_->asan, &to.impl_->asan);
+#endif
   PSJ_CHECK(swapcontext(&impl_->ctx, &to.impl_->ctx) == 0);
+#if defined(PSJ_FIBER_ASAN)
+  FiberAsanEndSwitch(&impl_->asan);
+#endif
 }
 
 bool FiberContext::Supported() { return true; }

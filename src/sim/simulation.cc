@@ -9,6 +9,15 @@ namespace psj::sim {
 
 namespace {
 
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash for the seeded
+/// tie-break keys.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 std::string_view StateName(Process::State state) {
   switch (state) {
     case Process::State::kCreated:
@@ -26,6 +35,26 @@ std::string_view StateName(Process::State state) {
 }
 
 }  // namespace
+
+TieBreak TieBreak::FromEnv() {
+  const char* env = std::getenv("PSJ_SIM_TIEBREAK");
+  if (env == nullptr || std::strcmp(env, "id") == 0) {
+    return Id();
+  }
+  constexpr char kSeededPrefix[] = "seeded:";
+  if (std::strncmp(env, kSeededPrefix, sizeof(kSeededPrefix) - 1) == 0) {
+    return Seeded(std::strtoull(env + sizeof(kSeededPrefix) - 1, nullptr, 10));
+  }
+  static bool warned = [env] {
+    std::fprintf(stderr,
+                 "[sim] ignoring unknown PSJ_SIM_TIEBREAK=%s "
+                 "(expected \"id\" or \"seeded:<n>\")\n",
+                 env);
+    return true;
+  }();
+  (void)warned;
+  return Id();
+}
 
 std::string_view ToString(SchedulerBackend backend) {
   switch (backend) {
@@ -166,8 +195,11 @@ bool Process::MakeReadyIfBlocked(SimTime t) {
 // Scheduler — backend-independent ready-heap core
 // ---------------------------------------------------------------------------
 
-Scheduler::Scheduler(SchedulerBackend backend)
-    : backend_(ResolveBackend(backend)) {}
+int64_t Process::dispatch_epoch() const { return scheduler_->num_dispatches_; }
+
+Scheduler::Scheduler(SchedulerBackend backend, std::optional<TieBreak> tiebreak)
+    : backend_(ResolveBackend(backend)),
+      tiebreak_(tiebreak.has_value() ? *tiebreak : TieBreak::FromEnv()) {}
 
 Scheduler::~Scheduler() {
   for (auto& process : processes_) {
@@ -211,12 +243,37 @@ SchedulerBackend Scheduler::ResolveBackend(SchedulerBackend requested) {
                                    : SchedulerBackend::kThread;
 }
 
+namespace {
+
+/// Heap ordering: dispatch order is (resume_time, tiebreak_key, id)
+/// ascending. The key equals the id under the default tie-break and a
+/// seeded hash of it under TieBreak::Seeded; the id stays the final
+/// arbiter so the order is total even on a (vanishingly unlikely) hash
+/// collision.
+bool DispatchesAfter(const Process::DispatchOrderKey& a,
+                     const Process::DispatchOrderKey& b) {
+  if (a.resume_time != b.resume_time) {
+    return a.resume_time > b.resume_time;
+  }
+  if (a.tiebreak_key != b.tiebreak_key) {
+    return a.tiebreak_key > b.tiebreak_key;
+  }
+  return a.id > b.id;
+}
+
+bool HeapAfter(const Process* a, const Process* b) {
+  return DispatchesAfter(a->dispatch_order_key(), b->dispatch_order_key());
+}
+
+}  // namespace
+
 bool Scheduler::FastPathYield(const Process* p, SimTime t) {
   if (!ready_heap_.empty()) {
     const Process* top = ready_heap_.front();
-    if (top->resume_time_ < t ||
-        (top->resume_time_ == t && top->id_ < p->id_)) {
-      return false;  // Another ready process precedes (t, p->id).
+    Process::DispatchOrderKey own = p->dispatch_order_key();
+    own.resume_time = t;
+    if (DispatchesAfter(own, top->dispatch_order_key())) {
+      return false;  // Another ready process precedes (t, p).
     }
   }
   ++num_fast_path_yields_;
@@ -226,23 +283,11 @@ bool Scheduler::FastPathYield(const Process* p, SimTime t) {
 void Scheduler::PushReady(Process* p) {
   PSJ_CHECK(p->state_ == Process::State::kReady);
   ready_heap_.push_back(p);
-  std::push_heap(ready_heap_.begin(), ready_heap_.end(),
-                 [](const Process* a, const Process* b) {
-                   if (a->resume_time_ != b->resume_time_) {
-                     return a->resume_time_ > b->resume_time_;
-                   }
-                   return a->id_ > b->id_;
-                 });
+  std::push_heap(ready_heap_.begin(), ready_heap_.end(), &HeapAfter);
 }
 
 Process* Scheduler::TakeNextReady() {
-  std::pop_heap(ready_heap_.begin(), ready_heap_.end(),
-                [](const Process* a, const Process* b) {
-                  if (a->resume_time_ != b->resume_time_) {
-                    return a->resume_time_ > b->resume_time_;
-                  }
-                  return a->id_ > b->id_;
-                });
+  std::pop_heap(ready_heap_.begin(), ready_heap_.end(), &HeapAfter);
   Process* next = ready_heap_.back();
   ready_heap_.pop_back();
   // Only kReady processes ever enter the heap; in particular a finished
@@ -289,6 +334,10 @@ Process* Scheduler::Spawn(std::function<void(Process&)> body) {
   }
   p->state_ = Process::State::kReady;
   p->resume_time_ = 0;
+  p->tiebreak_key_ = tiebreak_.seeded
+                         ? Mix64(tiebreak_.seed ^
+                                 (static_cast<uint64_t>(id) + 1))
+                         : static_cast<uint64_t>(id);
   PushReady(p);
   ++num_live_;
   return p;
@@ -374,6 +423,7 @@ ResourceUse Resource::Use(Process& p, SimTime duration) {
   PSJ_CHECK_GE(duration, 0);
   // Sync so requests arrive at the server in global virtual-time order.
   p.Sync();
+  region_.NoteWrite(p, "Resource::Use");
   const SimTime arrival = p.now();
   const SimTime start = std::max(arrival, next_free_);
   next_free_ = start + duration;

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/access_registry.h"
 #include "sim/fiber_context.h"
 #include "trace/trace_sink.h"
 #include "util/check.h"
@@ -47,6 +48,33 @@ enum class SchedulerBackend {
 };
 
 std::string_view ToString(SchedulerBackend backend);
+
+/// \brief Tie-break rule applied when several processes are ready at the
+/// same virtual time.
+///
+/// The default dispatches in process-id order. The seeded mode replaces the
+/// id with a seeded hash of it, reshuffling the dispatch order of
+/// equal-time processes while leaving the time order untouched. Every
+/// virtual-time observable of a well-annotated simulation must be
+/// *invariant* under this permutation — the schedule-perturbation harness
+/// (tests/perturbation_test.cc) runs the same experiment under many seeds
+/// and asserts bit-identical results, which turns "results do not depend on
+/// how equal-time ties are broken" into a tested property instead of an
+/// assumption.
+struct TieBreak {
+  bool seeded = false;
+  uint64_t seed = 0;
+
+  /// Process-id order (the default rule).
+  static TieBreak Id() { return TieBreak{}; }
+  /// Seeded pseudo-random permutation of equal-time dispatch order.
+  static TieBreak Seeded(uint64_t seed) { return TieBreak{true, seed}; }
+  /// Resolves PSJ_SIM_TIEBREAK: unset or "id" → Id(), "seeded:<n>" →
+  /// Seeded(n). Unknown values warn once and fall back to Id().
+  static TieBreak FromEnv();
+
+  friend bool operator==(const TieBreak&, const TieBreak&) = default;
+};
 
 /// \brief A logical process (one simulated KSR1 processor) driven by the
 /// Scheduler in virtual-time order.
@@ -107,6 +135,25 @@ class Process {
 
   State state() const { return state_; }
 
+  /// The scheduler's dispatch counter at the moment this process was last
+  /// given control. Two accesses with the same epoch were made by one
+  /// uninterrupted run of one process; the determinism analyzer records the
+  /// epoch so a hazard report can tell whether the conflicting accesses
+  /// were separated by a scheduling decision.
+  int64_t dispatch_epoch() const;
+
+  /// The triple deciding dispatch order among ready processes (ascending
+  /// lexicographic). tiebreak_key equals the id under the default rule and
+  /// a seeded hash of it under TieBreak::Seeded.
+  struct DispatchOrderKey {
+    SimTime resume_time;
+    uint64_t tiebreak_key;
+    int id;
+  };
+  DispatchOrderKey dispatch_order_key() const {
+    return DispatchOrderKey{resume_time_, tiebreak_key_, id_};
+  }
+
  private:
   friend class Scheduler;
 
@@ -127,6 +174,9 @@ class Process {
   State state_ = State::kCreated;
   SimTime now_ = 0;
   SimTime resume_time_ = 0;
+  /// Orders this process among equal-resume_time peers: the id under the
+  /// default tie-break, a seeded hash of it under TieBreak::Seeded.
+  uint64_t tiebreak_key_ = 0;
 
   // --- Thread backend only ---
   // Per-process wakeup channel: the scheduler signals exactly the process
@@ -152,7 +202,10 @@ class Process {
 /// decisions, so every virtual-time observable is backend-invariant.
 class Scheduler {
  public:
-  explicit Scheduler(SchedulerBackend backend = SchedulerBackend::kDefault);
+  /// `tiebreak` std::nullopt resolves against PSJ_SIM_TIEBREAK (see
+  /// TieBreak::FromEnv); an explicit value is used as given.
+  explicit Scheduler(SchedulerBackend backend = SchedulerBackend::kDefault,
+                     std::optional<TieBreak> tiebreak = std::nullopt);
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
@@ -175,6 +228,9 @@ class Scheduler {
 
   /// The backend actually executing (never kDefault).
   SchedulerBackend backend() const { return backend_; }
+
+  /// The tie-break rule dispatch decisions follow.
+  const TieBreak& tiebreak() const { return tiebreak_; }
 
   /// Resolves kDefault against PSJ_SIM_BACKEND and build support; explicit
   /// requests are returned unchanged (kFiber aborts when unsupported).
@@ -226,6 +282,7 @@ class Scheduler {
   void FiberDispatchFrom(Process* self);
 
   const SchedulerBackend backend_;
+  const TieBreak tiebreak_;
   std::mutex mu_;  // Thread backend only; handoff synchronization.
   std::condition_variable cv_;
   std::vector<std::unique_ptr<Process>> processes_;
@@ -275,6 +332,16 @@ class Resource {
     track_ = track;
   }
 
+  /// Attaches the determinism analyzer (null — the default — detaches).
+  /// Each service is an annotated write to the server's queue state: two
+  /// requests arriving at the *same* virtual time are served in dispatch
+  /// order, i.e. in tie-break order, and are reported as a hazard. Requests
+  /// at distinct times are ordered by virtual time itself and are clean —
+  /// this is also why a Resource *mediates* accesses performed strictly
+  /// after a service: the requester's clock has provably advanced past
+  /// every earlier user's service interval.
+  void BindCheck(check::AccessRegistry* registry) { region_.Bind(registry); }
+
   const std::string& name() const { return name_; }
   int64_t num_uses() const { return num_uses_; }
   SimTime busy_time() const { return busy_time_; }
@@ -289,6 +356,7 @@ class Resource {
   SimTime queue_wait_time_ = 0;
   trace::TraceSink* trace_ = nullptr;
   int32_t track_ = 0;
+  check::Region region_{name_};
 };
 
 /// \brief Point-to-point message queue with delivery latency, used for the

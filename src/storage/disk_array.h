@@ -75,6 +75,16 @@ class DiskArrayModel {
   /// starts; null detaches.
   void BindTrace(trace::TraceSink* trace);
 
+  /// Binds the virtual-time race detector to every disk queue: two
+  /// requests *arriving* at one disk at the same virtual time get their
+  /// FIFO order from the scheduler tie-break, which silently decides who
+  /// waits. Null disables checking.
+  void BindCheck(check::AccessRegistry* registry) {
+    for (auto& disk : disks_) {
+      disk->BindCheck(registry);
+    }
+  }
+
   int num_disks() const { return num_disks_; }
   const DiskParameters& params() const { return params_; }
 

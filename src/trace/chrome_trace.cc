@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
+#include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "util/json_writer.h"
@@ -88,14 +90,23 @@ void EmitHistogram(JsonWriter& json, const Histogram& histogram) {
 }  // namespace
 
 std::string ExportChromeTrace(const TraceSink& sink) {
-  // Stable sort by start time: record order breaks ties, so the output is a
-  // pure function of the virtual-time schedule, and per-track timestamps
-  // are monotone even though nested spans are recorded child-first.
+  // Sort by full event content, not just start time: record order at equal
+  // starts is dispatch order, which the scheduler tie-break may permute
+  // between otherwise identical runs. With the content key the export is a
+  // pure function of the event *multiset*, so byte-identical traces across
+  // tie-break seeds, and per-track timestamps stay monotone even though
+  // nested spans are recorded child-first.
   const std::vector<TraceEvent>& events = sink.events();
   std::vector<size_t> order(events.size());
   std::iota(order.begin(), order.end(), size_t{0});
+  const auto key = [](const TraceEvent& e) {
+    return std::make_tuple(e.start, e.track, e.end,
+                           static_cast<int>(e.category),
+                           std::string_view(e.name == nullptr ? "" : e.name),
+                           e.arg0, e.arg1);
+  };
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return events[a].start < events[b].start;
+    return key(events[a]) < key(events[b]);
   });
 
   JsonWriter json;

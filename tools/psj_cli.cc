@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "check/access_registry.h"
 #include "core/experiment.h"
 #include "core/parallel_join.h"
 #include "core/parallel_window_query.h"
@@ -319,11 +320,12 @@ int CmdJoin(int argc, char** argv) {
   const bool as_json = BoolFlag(argc, argv, "json");
   const std::string trace_path = StringFlag(argc, argv, "trace", "");
   const bool want_timeline = BoolFlag(argc, argv, "timeline");
+  const bool want_check = BoolFlag(argc, argv, "check");
   const std::string sweep = StringFlag(argc, argv, "sweep", "");
-  if (!sweep.empty() && (!trace_path.empty() || want_timeline)) {
+  if (!sweep.empty() && (!trace_path.empty() || want_timeline || want_check)) {
     std::fprintf(stderr,
-                 "error: --trace/--timeline record a single run and cannot "
-                 "be combined with --sweep\n");
+                 "error: --trace/--timeline/--check apply to a single run "
+                 "and cannot be combined with --sweep\n");
     return 2;
   }
   if (!as_json) {
@@ -338,6 +340,10 @@ int CmdJoin(int argc, char** argv) {
   trace::TraceSink sink;
   if (!trace_path.empty() || want_timeline) {
     config.trace = &sink;
+  }
+  check::AccessRegistry registry;
+  if (want_check) {
+    config.check = &registry;
   }
   auto result = join.Run(config);
   if (!result.ok()) {
@@ -364,6 +370,12 @@ int CmdJoin(int argc, char** argv) {
     }
     std::fprintf(stderr, "wrote Chrome trace (%zu events) to %s\n",
                  sink.events().size(), trace_path.c_str());
+  }
+  if (want_check) {
+    std::fprintf(stderr, "%s", registry.Summary().c_str());
+    if (!registry.clean()) {
+      return 1;
+    }
   }
   return 0;
 }
@@ -435,7 +447,7 @@ int Usage() {
       "           [--placement=modulo|hilbert] [--second-filter=0|1]\n"
       "           [--backend=default|thread|fiber]\n"
       "           [--sweep=n1,n2,...] [--jobs=N] [--json]\n"
-      "           [--trace=OUT.json] [--timeline]\n"
+      "           [--trace=OUT.json] [--timeline] [--check]\n"
       "  window   --prefix=P --rect=xl,yl,xu,yu [--processors=N]\n"
       "           [--backend=default|thread|fiber]\n"
       "  knn      --prefix=P --point=x,y [--k=N]\n");

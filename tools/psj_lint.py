@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Repository lint for the determinism discipline (CI-blocking).
+
+The simulator derives every result from virtual time, so the rules here are
+not style: each one closes a door through which host nondeterminism could
+leak into simulated results.
+
+  no-wall-clock        src/sim and src/core must not read host clocks or
+                       host randomness (system_clock, rand, ...). Virtual
+                       time and seeded generators only.
+  no-host-threading    OS threading primitives are confined to the scheduler
+                       backend (src/sim/simulation.*) and the host-side
+                       sweep driver (src/core/experiment.*). Simulation
+                       logic synchronizes in virtual time, never with a
+                       mutex.
+  no-mutable-globals   File-scope mutable state in src/ is shared between
+                       concurrently simulated runs on the experiment driver
+                       and is invisible to the access registry. Const,
+                       constexpr, or explicitly annotated state only
+                       ("// psj-lint: global-ok(<reason>)").
+  no-tracked-build     No tracked path may start with "build" (anchored;
+                       bench/ablation_tree_build.cc is fine).
+
+Usage: python3 tools/psj_lint.py [--root REPO] [FILES...]
+With FILES, only those files are checked (the CI changed-files mode);
+no-tracked-build always inspects the whole index. Exit 0 = clean.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+WALL_CLOCK_DIRS = ("src/sim", "src/core")
+WALL_CLOCK_TOKENS = [
+    "system_clock",
+    "steady_clock",
+    "high_resolution_clock",
+    "gettimeofday",
+    "clock_gettime",
+    "std::rand",
+    "srand(",
+    "random_device",
+    "std::time(",
+]
+
+THREADING_DIRS = ("src",)
+THREADING_ALLOWLIST = (
+    # The scheduler's thread backend is where OS threading is implemented.
+    "src/sim/simulation.h",
+    "src/sim/simulation.cc",
+    # The experiment driver runs independent simulations on host threads.
+    "src/core/experiment.h",
+    "src/core/experiment.cc",
+)
+THREADING_TOKENS = [
+    "std::thread",
+    "std::jthread",
+    "std::mutex",
+    "std::shared_mutex",
+    "std::condition_variable",
+    "std::atomic",
+    "<thread>",
+    "<mutex>",
+    "<atomic>",
+    "<shared_mutex>",
+]
+
+GLOBAL_DIRS = ("src",)
+GLOBAL_ALLOWLIST = (
+    # Sanitizer fiber-switch bookkeeping: inherently per-host-thread state.
+    "src/sim/fiber_context.cc",
+)
+GLOBAL_OK_MARK = "psj-lint: global-ok"
+# File-scope definitions start in column 0; function-local statics are
+# indented. constexpr/const/functions/types are filtered below.
+GLOBAL_DEF = re.compile(r"^(static|thread_local)\b")
+GLOBAL_IMMUTABLE = re.compile(r"\b(const|constexpr|constinit)\b")
+GLOBAL_NOT_A_VARIABLE = re.compile(r"\b(void|struct|class|enum|union)\b|\)\s*[{;]")
+
+CXX_SUFFIXES = {".cc", ".h"}
+
+
+def strip_comments(line, in_block):
+    """Removes // and /* */ comment text; returns (code, still_in_block)."""
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
+        elif line.startswith("//", i):
+            break
+        elif line.startswith("/*", i):
+            in_block = True
+            i += 2
+        else:
+            out.append(line[i])
+            i += 1
+    return "".join(out), in_block
+
+
+def lint_file(path, rel, errors):
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        errors.append(f"{rel}: unreadable: {err}")
+        return
+    in_block = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        code, in_block = strip_comments(raw, in_block)
+        if not code.strip():
+            continue
+
+        def report(rule, token):
+            errors.append(f"{rel}:{lineno}: [{rule}] '{token}' — {raw.strip()}")
+
+        if rel.startswith(WALL_CLOCK_DIRS):
+            for token in WALL_CLOCK_TOKENS:
+                if token in code:
+                    report("no-wall-clock", token)
+        if rel.startswith(THREADING_DIRS) and rel not in THREADING_ALLOWLIST:
+            for token in THREADING_TOKENS:
+                if token in code:
+                    report("no-host-threading", token)
+        if (
+            rel.startswith(GLOBAL_DIRS)
+            and rel not in GLOBAL_ALLOWLIST
+            and GLOBAL_OK_MARK not in raw
+            and GLOBAL_DEF.match(code)
+            and not GLOBAL_IMMUTABLE.search(code)
+            and not GLOBAL_NOT_A_VARIABLE.search(code)
+        ):
+            report("no-mutable-globals", code.split()[0])
+
+
+def lint_tracked_build_trees(root, errors):
+    proc = subprocess.run(
+        ["git", "ls-files"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        return  # Not a git checkout (e.g. an export); nothing to check.
+    for tracked in proc.stdout.splitlines():
+        if tracked.startswith("build"):
+            errors.append(f"{tracked}: [no-tracked-build] tracked build-tree path")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("files", nargs="*", help="restrict to these files")
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.root).resolve()
+
+    if args.files:
+        candidates = [pathlib.Path(f) for f in args.files]
+    else:
+        candidates = sorted(root.glob("src/**/*"))
+    errors = []
+    for path in candidates:
+        path = path if path.is_absolute() else root / path
+        if path.suffix not in CXX_SUFFIXES or not path.is_file():
+            continue
+        rel = path.relative_to(root).as_posix()
+        lint_file(path, rel, errors)
+    lint_tracked_build_trees(root, errors)
+
+    if errors:
+        print(f"psj_lint: {len(errors)} violation(s)", file=sys.stderr)
+        for line in errors:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("psj_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
