@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 
+#include "report/figure_registry.h"
 #include "util/check.h"
 
 namespace psj::bench {
@@ -64,6 +67,36 @@ void PrintHeader(const char* artifact, const char* expectation) {
               BenchScale());
   std::printf("==============================================================="
               "=\n");
+}
+
+int RunFigureHarness(const char* figure, int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=FILE.json]\n", argv[0]);
+      return 2;
+    }
+  }
+  const report::FigureSpec* spec = report::FindFigureSpec(figure);
+  PSJ_CHECK(spec != nullptr) << "unknown figure '" << figure << "'";
+  PrintHeader(spec->title, spec->expectation);
+  report::RunOptions options;
+  options.scale = BenchScale();
+  const report::FigureDoc doc =
+      report::RunFigure(*spec, GetWorkload(), options);
+  std::printf("%s", doc.FormatText().c_str());
+  if (!out_path.empty()) {
+    JsonWriter writer;
+    doc.WriteJson(writer);
+    if (!writer.WriteFile(out_path)) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[bench] wrote %s\n", out_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace psj::bench

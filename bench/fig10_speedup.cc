@@ -1,76 +1,12 @@
 // Reproduces Figure 10: speed up t(1)/t(n) and total disk accesses as a
 // function of the number of processors for d = 1, d = 8 and d = n (best
 // variant: gd + reassignment on all levels; buffer 100 pages per CPU).
-// Also reports the paper's §4.5 claim about the total run time of all
-// tasks (~+7% at n = 4, falling for larger n).
-#include <cstdio>
-#include <vector>
-
+//
+// The sweep itself lives in the shared experiment registry (src/report):
+// this binary, `psj_cli report`, and the golden baselines all run the same
+// code. `--out=FILE.json` writes the schema-versioned figure document.
 #include "bench/bench_common.h"
-#include "util/string_util.h"
 
-namespace psj {
-namespace {
-
-constexpr int kProcessorCounts[] = {1, 2, 4, 6, 8, 10, 12, 16, 20, 24};
-
-ParallelJoinConfig MakeConfig(int processors, int disks) {
-  ParallelJoinConfig config = ParallelJoinConfig::Gd();
-  config.reassignment = ReassignmentLevel::kAllLevels;
-  config.num_processors = processors;
-  config.num_disks = disks;
-  config.total_buffer_pages = static_cast<size_t>(100) *
-                              static_cast<size_t>(processors);
-  return config;
+int main(int argc, char** argv) {
+  return psj::bench::RunFigureHarness("fig10", argc, argv);
 }
-
-int Main() {
-  bench::PrintHeader(
-      "Figure 10: Speed up and disk accesses vs. number of processors",
-      "speed up saturates near 4 with one disk and near 10 with 8 disks; "
-      "with d = n it stays almost linear (paper: 22.6 at n = 24) helped by "
-      "the growing global buffer reducing disk accesses; the total run "
-      "time of all tasks stays within a few percent of t(1)");
-
-  // The t(1) baseline plus the whole (n, d) grid are independent
-  // simulations: one parallel batch for everything.
-  std::vector<ParallelJoinConfig> configs;
-  configs.push_back(MakeConfig(1, 1));  // Baseline.
-  for (int n : kProcessorCounts) {
-    configs.push_back(MakeConfig(n, 1));
-    configs.push_back(MakeConfig(n, 8));
-    configs.push_back(MakeConfig(n, n));
-  }
-  const std::vector<JoinResult> results = bench::RunJoinBatch(configs);
-  const JoinStats& base = results[0].stats;
-
-  std::printf("t(1) = %s s (paper: ~1,420 s implied by 62.8 s x 22.6)\n\n",
-              FormatMicrosAsSeconds(base.response_time).c_str());
-
-  std::printf("%-6s | %9s %9s %9s | %11s %11s %11s | %12s\n", "n",
-              "su d=1", "su d=8", "su d=n", "disk d=1", "disk d=8",
-              "disk d=n", "task time/t1");
-  const auto speedup = [&base](const JoinStats& stats) {
-    return static_cast<double>(base.response_time) /
-           static_cast<double>(stats.response_time);
-  };
-  size_t run = 1;
-  for (int n : kProcessorCounts) {
-    const JoinStats& d1 = results[run++].stats;
-    const JoinStats& d8 = results[run++].stats;
-    const JoinStats& dn = results[run++].stats;
-    std::printf("%-6d | %9.1f %9.1f %9.1f | %11s %11s %11s | %11.1f%%\n", n,
-                speedup(d1), speedup(d8), speedup(dn),
-                FormatWithCommas(d1.total_disk_accesses).c_str(),
-                FormatWithCommas(d8.total_disk_accesses).c_str(),
-                FormatWithCommas(dn.total_disk_accesses).c_str(),
-                100.0 * static_cast<double>(dn.total_task_time) /
-                    static_cast<double>(base.total_task_time));
-  }
-  return 0;
-}
-
-}  // namespace
-}  // namespace psj
-
-int main() { return psj::Main(); }

@@ -1,70 +1,12 @@
 // Reproduces Figure 5: total number of disk accesses as a function of the
-// total LRU buffer size (200..3200 pages) for the three variants
-//   lsr  = local buffers + static range assignment
-//   gsrr = global buffer + static round-robin assignment
-//   gd   = global buffer + dynamic task assignment
-// with 8 and 24 processors (d = n), task reassignment at the root level.
-#include <cstdio>
-#include <iterator>
-#include <vector>
-
+// total LRU buffer size (200..3200 pages) for the three variants (lsr,
+// gsrr, gd) with 8 and 24 processors, task reassignment at the root level.
+//
+// The sweep itself lives in the shared experiment registry (src/report):
+// this binary, `psj_cli report`, and the golden baselines all run the same
+// code. `--out=FILE.json` writes the schema-versioned figure document.
 #include "bench/bench_common.h"
-#include "util/string_util.h"
 
-namespace psj {
-namespace {
-
-ParallelJoinConfig VariantConfig(const char* name) {
-  ParallelJoinConfig config =
-      name[0] == 'l' ? ParallelJoinConfig::Lsr()
-                     : (name[1] == 's' ? ParallelJoinConfig::Gsrr()
-                                       : ParallelJoinConfig::Gd());
-  config.reassignment = ReassignmentLevel::kRootLevel;
-  return config;
-}
-
-void RunSweep(int processors) {
-  const size_t buffer_sizes[] = {200, 400, 800, 1600, 2400, 3200};
-  const char* variants[] = {"lsr", "gsrr", "gd"};
-
-  // All runs of the sweep are independent: build the whole grid first and
-  // execute it on the parallel experiment driver.
-  std::vector<ParallelJoinConfig> configs;
-  for (size_t buffer : buffer_sizes) {
-    for (const char* variant : variants) {
-      ParallelJoinConfig config = VariantConfig(variant);
-      config.num_processors = processors;
-      config.num_disks = processors;
-      config.total_buffer_pages = buffer;
-      configs.push_back(config);
-    }
-  }
-  const std::vector<JoinResult> results = bench::RunJoinBatch(configs);
-
-  std::printf("\n--- %d processors, %d disks ---\n", processors, processors);
-  std::printf("%-10s %10s %10s %10s\n", "buffer", "lsr", "gsrr", "gd");
-  size_t run = 0;
-  for (size_t buffer : buffer_sizes) {
-    std::printf("%-10zu", buffer);
-    for (size_t v = 0; v < std::size(variants); ++v) {
-      std::printf(" %10s",
-                  FormatWithCommas(results[run++].stats.total_disk_accesses)
-                      .c_str());
-    }
-    std::printf("\n");
-  }
-}
-
-}  // namespace
-}  // namespace psj
-
-int main() {
-  psj::bench::PrintHeader(
-      "Figure 5: Disk accesses vs. total LRU buffer size (lsr/gsrr/gd)",
-      "disk accesses fall as the buffer grows; lsr and gsrr are close, the "
-      "global buffer profits more from larger buffers, gd is best; 24 "
-      "processors need more accesses than 8 (smaller per-CPU buffer share)");
-  psj::RunSweep(8);
-  psj::RunSweep(24);
-  return 0;
+int main(int argc, char** argv) {
+  return psj::bench::RunFigureHarness("fig5", argc, argv);
 }

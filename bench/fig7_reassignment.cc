@@ -1,82 +1,13 @@
 // Reproduces Figure 7: run time of the processor finishing first / on
 // average / last (left diagrams) and the number of disk accesses (right
 // diagrams) for task reassignment on (1) no level, (2) the root level,
-// (3) all levels — for each of lsr, gsrr, gd. Buffer: 800 pages total,
-// 8 processors, 8 disks.
-#include <cstdio>
-#include <vector>
-
+// (3) all levels, for the three variants.
+//
+// The sweep itself lives in the shared experiment registry (src/report):
+// this binary, `psj_cli report`, and the golden baselines all run the same
+// code. `--out=FILE.json` writes the schema-versioned figure document.
 #include "bench/bench_common.h"
-#include "util/string_util.h"
 
-namespace psj {
-namespace {
-
-constexpr struct {
-  const char* label;
-  ReassignmentLevel level;
-} kLevels[] = {
-    {"none", ReassignmentLevel::kNone},
-    {"root", ReassignmentLevel::kRootLevel},
-    {"all", ReassignmentLevel::kAllLevels},
-};
-
-void PrintVariant(const char* name, const JoinResult* results) {
-  std::printf("\n--- %s ---\n", name);
-  std::printf("%-12s %12s %12s %12s %14s %14s\n", "reassign",
-              "first (s)", "avg (s)", "last (s)", "disk accesses",
-              "pairs moved");
-  for (size_t i = 0; i < 3; ++i) {
-    const JoinStats& stats = results[i].stats;
-    int64_t moved = 0;
-    for (const auto& p : stats.per_processor) {
-      moved += p.pairs_stolen;
-    }
-    std::printf("%-12s %12s %12s %12s %14s %14s\n", kLevels[i].label,
-                FormatMicrosAsSeconds(stats.first_finish).c_str(),
-                FormatMicrosAsSeconds(stats.avg_finish).c_str(),
-                FormatMicrosAsSeconds(stats.response_time).c_str(),
-                FormatWithCommas(stats.total_disk_accesses).c_str(),
-                FormatWithCommas(moved).c_str());
-  }
+int main(int argc, char** argv) {
+  return psj::bench::RunFigureHarness("fig7", argc, argv);
 }
-
-int Main() {
-  bench::PrintHeader(
-      "Figure 7: Performance with and without task reassignment "
-      "(n = d = 8, buffer 800 pages)",
-      "reassignment shrinks the first-to-last finish spread sharply for lsr "
-      "and gsrr at a small disk-access cost; for gd, root-level "
-      "reassignment changes nothing (work is already pulled task-by-task) "
-      "and all-levels helps only a little");
-  const struct {
-    const char* name;
-    ParallelJoinConfig base;
-  } variants[] = {
-      {"lsr (local + static range)", ParallelJoinConfig::Lsr()},
-      {"gsrr (global + static round-robin)", ParallelJoinConfig::Gsrr()},
-      {"gd (global + dynamic)", ParallelJoinConfig::Gd()},
-  };
-  // The full 3x3 grid is independent: run it as one parallel batch.
-  std::vector<ParallelJoinConfig> configs;
-  for (const auto& variant : variants) {
-    for (const auto& level : kLevels) {
-      ParallelJoinConfig config = variant.base;
-      config.num_processors = 8;
-      config.num_disks = 8;
-      config.total_buffer_pages = 800;
-      config.reassignment = level.level;
-      configs.push_back(config);
-    }
-  }
-  const std::vector<JoinResult> results = bench::RunJoinBatch(configs);
-  for (size_t v = 0; v < 3; ++v) {
-    PrintVariant(variants[v].name, &results[v * 3]);
-  }
-  return 0;
-}
-
-}  // namespace
-}  // namespace psj
-
-int main() { return psj::Main(); }

@@ -1,62 +1,12 @@
 // Reproduces Figure 8: disk accesses when the idle processor helps
 //   (a) the processor with the most extensive work load (highest (hl, ns)),
 //   (b) an arbitrary processor (the proposal of [SN 93]).
-// 8 processors, 8 disks, buffer 800 pages, reassignment on all levels.
-#include <cstdio>
-#include <vector>
-
+//
+// The sweep itself lives in the shared experiment registry (src/report):
+// this binary, `psj_cli report`, and the golden baselines all run the same
+// code. `--out=FILE.json` writes the schema-versioned figure document.
 #include "bench/bench_common.h"
-#include "util/string_util.h"
 
-namespace psj {
-namespace {
-
-int Main() {
-  bench::PrintHeader(
-      "Figure 8: Victim selection for task reassignment (n = d = 8)",
-      "with local buffers, helping an arbitrary processor costs a few more "
-      "disk accesses than helping the most loaded one; with a global "
-      "buffer the two policies are nearly identical");
-  const struct {
-    const char* name;
-    ParallelJoinConfig base;
-  } variants[] = {
-      {"lsr (local + static range)", ParallelJoinConfig::Lsr()},
-      {"gsrr (global + static round-robin)", ParallelJoinConfig::Gsrr()},
-      {"gd (global + dynamic)", ParallelJoinConfig::Gd()},
-  };
-  // 3 variants x 2 victim policies, run as one parallel batch.
-  std::vector<ParallelJoinConfig> configs;
-  for (const auto& variant : variants) {
-    for (VictimPolicy policy :
-         {VictimPolicy::kMostLoaded, VictimPolicy::kArbitrary}) {
-      ParallelJoinConfig config = variant.base;
-      config.num_processors = 8;
-      config.num_disks = 8;
-      config.total_buffer_pages = 800;
-      config.reassignment = ReassignmentLevel::kAllLevels;
-      config.victim_policy = policy;
-      configs.push_back(config);
-    }
-  }
-  const std::vector<JoinResult> results = bench::RunJoinBatch(configs);
-
-  std::printf("%-38s %14s %14s\n", "variant", "a: most-loaded",
-              "b: arbitrary");
-  size_t run = 0;
-  for (const auto& variant : variants) {
-    std::printf("%-38s", variant.name);
-    for (int p = 0; p < 2; ++p) {
-      std::printf(
-          " %14s",
-          FormatWithCommas(results[run++].stats.total_disk_accesses).c_str());
-    }
-    std::printf("\n");
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return psj::bench::RunFigureHarness("fig8", argc, argv);
 }
-
-}  // namespace
-}  // namespace psj
-
-int main() { return psj::Main(); }

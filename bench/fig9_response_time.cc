@@ -1,61 +1,13 @@
 // Reproduces Figure 9: response time of the best variant (global buffer,
 // dynamic task assignment, reassignment on all levels) as a function of the
 // number of processors n, for three disk configurations: d = 1, d = 8 and
-// d = n. The total buffer grows linearly with n (100 pages per processor).
-#include <cstdio>
-#include <vector>
-
+// d = n.
+//
+// The sweep itself lives in the shared experiment registry (src/report):
+// this binary, `psj_cli report`, and the golden baselines all run the same
+// code. `--out=FILE.json` writes the schema-versioned figure document.
 #include "bench/bench_common.h"
-#include "util/string_util.h"
 
-namespace psj {
-namespace {
-
-constexpr int kProcessorCounts[] = {1, 2, 4, 6, 8, 10, 12, 16, 20, 24};
-
-ParallelJoinConfig MakeConfig(int processors, int disks) {
-  ParallelJoinConfig config = ParallelJoinConfig::Gd();
-  config.reassignment = ReassignmentLevel::kAllLevels;
-  config.num_processors = processors;
-  config.num_disks = disks;
-  config.total_buffer_pages = static_cast<size_t>(100) *
-                              static_cast<size_t>(processors);
-  return config;
+int main(int argc, char** argv) {
+  return psj::bench::RunFigureHarness("fig9", argc, argv);
 }
-
-int Main() {
-  bench::PrintHeader(
-      "Figure 9: Response time vs. number of processors (gd, reassignment "
-      "on all levels, buffer = 100 pages/CPU)",
-      "d = 1 flattens around 4 processors (the single disk saturates); "
-      "d = 8 keeps improving until ~10 processors; d = n falls nearly "
-      "linearly (paper: 62.8 s at n = d = 24)");
-  // Every (n, d) point is an independent simulation: run the full grid as
-  // one parallel batch.
-  std::vector<ParallelJoinConfig> configs;
-  for (int n : kProcessorCounts) {
-    configs.push_back(MakeConfig(n, 1));
-    configs.push_back(MakeConfig(n, 8));
-    configs.push_back(MakeConfig(n, n));
-  }
-  const std::vector<JoinResult> results = bench::RunJoinBatch(configs);
-
-  std::printf("%-6s %16s %16s %16s\n", "n", "d=1 (s)", "d=8 (s)",
-              "d=n (s)");
-  size_t run = 0;
-  for (int n : kProcessorCounts) {
-    const auto t1 = results[run++].stats.response_time;
-    const auto t8 = results[run++].stats.response_time;
-    const auto tn = results[run++].stats.response_time;
-    std::printf("%-6d %16s %16s %16s\n", n,
-                FormatMicrosAsSeconds(t1).c_str(),
-                FormatMicrosAsSeconds(t8).c_str(),
-                FormatMicrosAsSeconds(tn).c_str());
-  }
-  return 0;
-}
-
-}  // namespace
-}  // namespace psj
-
-int main() { return psj::Main(); }

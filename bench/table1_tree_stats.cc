@@ -1,20 +1,11 @@
 // Reproduces Table 1: parameters of the two R*-trees built over the maps
 // (height, data entries, data pages, directory pages, m).
-#include <cstdio>
-
+//
+// The sweep itself lives in the shared experiment registry (src/report):
+// this binary, `psj_cli report`, and the golden baselines all run the same
+// code. `--out=FILE.json` writes the schema-versioned figure document.
 #include "bench/bench_common.h"
 
-int main() {
-  using namespace psj;
-  bench::PrintHeader(
-      "Table 1: Parameters of the R*-trees",
-      "height 3; ~131k/127k entries; ~7.0k/6.8k data pages; ~95/92 "
-      "directory pages; m ~ 404 (at scale 1.0)");
-  const PaperWorkload& workload = bench::GetWorkload();
-  std::printf("%s", workload.DescribeTrees().c_str());
-  std::printf("\npaper reference values (tree1 / tree2):\n");
-  std::printf("  height 3 / 3; data entries 131,443 / 127,312;\n");
-  std::printf("  data pages 6,968 / 6,778; directory pages 95 / 92; "
-              "m = 404\n");
-  return 0;
+int main(int argc, char** argv) {
+  return psj::bench::RunFigureHarness("table1", argc, argv);
 }

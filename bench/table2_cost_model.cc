@@ -1,34 +1,11 @@
 // Reproduces Table 2: the memory/disk parameters of the simulated KSR1
 // platform, i.e. the cost-model constants every experiment runs under.
-#include <cstdio>
-
+//
+// The sweep itself lives in the shared experiment registry (src/report):
+// this binary, `psj_cli report`, and the golden baselines all run the same
+// code. `--out=FILE.json` writes the schema-versioned figure document.
 #include "bench/bench_common.h"
-#include "core/cost_model.h"
 
-int main() {
-  using namespace psj;
-  bench::PrintHeader(
-      "Table 2: Parameters of the KSR1 platform (cost model)",
-      "local buffer access ~10x faster than another processor's buffer; "
-      "16 ms per directory page; 37.5 ms per data page + geometry cluster; "
-      "2-18 ms (avg ~10 ms) per exact-geometry test");
-  const CostModel costs;
-  std::printf("%s", costs.Describe().c_str());
-
-  std::printf("\npaper's Table 2 (KSR1 memory hierarchy):\n");
-  std::printf("  %-28s %14s %14s %12s %10s\n", "memory", "address space",
-              "transfer unit", "bandwidth", "latency");
-  std::printf("  %-28s %14s %14s %12s %10s\n", "cache", "256 KB", "64 B",
-              "64 MB/s", "0.1 us");
-  std::printf("  %-28s %14s %14s %12s %10s\n", "main memory", "32 MB",
-              "128 B", "40 MB/s", "1.2 us");
-  std::printf("  %-28s %14s %14s %12s %10s\n", "other processors' memory",
-              "768 MB", "128 B", "32 MB/s", "9 us");
-  std::printf("\nmapping: the ~7.5-10x latency gap between own and remote "
-              "memory is modeled as\n");
-  std::printf("local_hit=%lld us vs remote_hit=%lld us per 4 KB page "
-              "access.\n",
-              static_cast<long long>(costs.buffer.local_hit),
-              static_cast<long long>(costs.buffer.remote_hit));
-  return 0;
+int main(int argc, char** argv) {
+  return psj::bench::RunFigureHarness("table2", argc, argv);
 }

@@ -95,6 +95,23 @@ void JoinStats::WriteJson(JsonWriter& out) const {
   out.Int(total_answers);
   out.Key("second_filter_eliminated");
   out.Int(total_second_filter_eliminated);
+  int64_t buffer_disk_reads = 0;
+  int64_t buffer_disk_reads_data_pages = 0;
+  for (const ProcessorStats& p : per_processor) {
+    buffer_disk_reads += p.buffer.disk_reads;
+    buffer_disk_reads_data_pages += p.buffer.disk_reads_data_pages;
+  }
+  out.Key("buffer");
+  out.BeginObject();
+  out.Key("local_hits");
+  out.Int(total_local_hits);
+  out.Key("remote_hits");
+  out.Int(total_remote_hits);
+  out.Key("disk_reads");
+  out.Int(buffer_disk_reads);
+  out.Key("disk_reads_data_pages");
+  out.Int(buffer_disk_reads_data_pages);
+  out.EndObject();
   out.Key("per_processor");
   out.BeginArray();
   for (const ProcessorStats& p : per_processor) {

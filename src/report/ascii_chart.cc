@@ -1,0 +1,183 @@
+#include "report/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace psj::report {
+namespace {
+
+/// Marker glyphs assigned to series in document order; wraps around for
+/// more than eight series on one chart.
+constexpr std::string_view kGlyphs = "*o+x#@%&";
+
+std::string FormatAxisValue(double value) {
+  // %g keeps axis labels short; values this far apart never need the full
+  // round-trip precision the JSON documents use.
+  return StringPrintf("%g", value);
+}
+
+struct ChartRange {
+  double x_min = 0.0, x_max = 0.0;
+  double y_min = 0.0, y_max = 0.0;
+};
+
+ChartRange ComputeRange(const std::vector<const FigureSeries*>& series) {
+  ChartRange range;
+  bool first = true;
+  for (const FigureSeries* s : series) {
+    for (const FigurePoint& p : s->points) {
+      if (first) {
+        range.x_min = range.x_max = p.x;
+        range.y_min = range.y_max = p.y;
+        first = false;
+      } else {
+        range.x_min = std::min(range.x_min, p.x);
+        range.x_max = std::max(range.x_max, p.x);
+        range.y_min = std::min(range.y_min, p.y);
+        range.y_max = std::max(range.y_max, p.y);
+      }
+    }
+  }
+  // Anchor the y axis at zero when all values share a sign — speedup and
+  // response-time charts read wrong with a truncated baseline.
+  if (range.y_min > 0.0) range.y_min = 0.0;
+  if (range.y_max < 0.0) range.y_max = 0.0;
+  if (range.y_max == range.y_min) range.y_max = range.y_min + 1.0;
+  return range;
+}
+
+}  // namespace
+
+std::string RenderAsciiChart(const FigureDoc& doc, std::string_view metric,
+                             const AsciiChartOptions& options) {
+  std::vector<const FigureSeries*> series;
+  for (const FigureSeries& s : doc.series) {
+    if (s.metric == metric && !s.points.empty()) {
+      series.push_back(&s);
+    }
+  }
+  if (series.empty()) {
+    return "";
+  }
+  const int width = std::max(options.width, 8);
+  const int height = std::max(options.height, 4);
+  const ChartRange range = ComputeRange(series);
+  const double x_span =
+      range.x_max > range.x_min ? range.x_max - range.x_min : 1.0;
+  const double y_span = range.y_max - range.y_min;
+
+  const auto col_of = [&](double x) {
+    const int col = static_cast<int>(
+        std::lround((x - range.x_min) / x_span * (width - 1)));
+    return std::clamp(col, 0, width - 1);
+  };
+  const auto row_of = [&](double y) {
+    // Row 0 is the top of the plot.
+    const int row = static_cast<int>(
+        std::lround((range.y_max - y) / y_span * (height - 1)));
+    return std::clamp(row, 0, height - 1);
+  };
+
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  // Connecting segments first, markers second, so markers win the cell.
+  for (const FigureSeries* s : series) {
+    std::vector<FigurePoint> points = s->points;
+    std::sort(points.begin(), points.end(),
+              [](const FigurePoint& a, const FigurePoint& b) {
+                return a.x < b.x;
+              });
+    for (size_t i = 1; i < points.size(); ++i) {
+      const int c0 = col_of(points[i - 1].x);
+      const int c1 = col_of(points[i].x);
+      for (int c = c0 + 1; c < c1; ++c) {
+        const double t = static_cast<double>(c - c0) /
+                         static_cast<double>(c1 - c0);
+        const double y =
+            points[i - 1].y + t * (points[i].y - points[i - 1].y);
+        char& cell = grid[static_cast<size_t>(row_of(y))]
+                         [static_cast<size_t>(c)];
+        if (cell == ' ') {
+          cell = '.';
+        }
+      }
+    }
+  }
+  for (size_t index = 0; index < series.size(); ++index) {
+    const char glyph = kGlyphs[index % kGlyphs.size()];
+    for (const FigurePoint& p : series[index]->points) {
+      grid[static_cast<size_t>(row_of(p.y))][static_cast<size_t>(col_of(p.x))] =
+          glyph;
+    }
+  }
+
+  // Y-axis gutter: top, middle and bottom labels, right-aligned.
+  std::vector<std::string> labels(static_cast<size_t>(height));
+  labels[0] = FormatAxisValue(range.y_max);
+  labels[static_cast<size_t>(height - 1)] = FormatAxisValue(range.y_min);
+  labels[static_cast<size_t>((height - 1) / 2)] =
+      FormatAxisValue(range.y_min + y_span * 0.5);
+  size_t gutter = 0;
+  for (const std::string& label : labels) {
+    gutter = std::max(gutter, label.size());
+  }
+
+  std::string out;
+  out += StringPrintf("%s [%s]\n", doc.y_label.c_str(),
+                      std::string(metric).c_str());
+  for (int row = 0; row < height; ++row) {
+    const std::string& label = labels[static_cast<size_t>(row)];
+    out += std::string(gutter - label.size(), ' ') + label + " |" +
+           grid[static_cast<size_t>(row)] + "\n";
+  }
+  out += std::string(gutter, ' ') + " +" +
+         std::string(static_cast<size_t>(width), '-') + "\n";
+
+  // X axis: categorical ticks map positions to names; numeric axes get the
+  // range endpoints.
+  std::string x_line = "x (" + doc.x_label + "): ";
+  if (!doc.x_tick_labels.empty()) {
+    for (size_t i = 0; i < doc.x_tick_labels.size(); ++i) {
+      if (i > 0) x_line += "  ";
+      x_line += StringPrintf("%zu=%s", i, doc.x_tick_labels[i].c_str());
+    }
+  } else {
+    x_line += FormatAxisValue(range.x_min) + " .. " +
+              FormatAxisValue(range.x_max);
+  }
+  out += std::string(gutter + 2, ' ') + x_line + "\n";
+  for (size_t index = 0; index < series.size(); ++index) {
+    out += std::string(gutter + 2, ' ') +
+           StringPrintf("%c %s\n", kGlyphs[index % kGlyphs.size()],
+                        series[index]->name.c_str());
+  }
+  return out;
+}
+
+std::string RenderAsciiCharts(const FigureDoc& doc,
+                              const AsciiChartOptions& options) {
+  std::vector<std::string> metrics;
+  for (const FigureSeries& s : doc.series) {
+    if (std::find(metrics.begin(), metrics.end(), s.metric) ==
+        metrics.end()) {
+      metrics.push_back(s.metric);
+    }
+  }
+  std::string out;
+  for (const std::string& metric : metrics) {
+    const std::string chart = RenderAsciiChart(doc, metric, options);
+    if (chart.empty()) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += "\n";
+    }
+    out += chart;
+  }
+  return out;
+}
+
+}  // namespace psj::report

@@ -1,0 +1,277 @@
+#include "report/figure_doc.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/json_value.h"
+#include "util/string_util.h"
+
+namespace psj::report {
+namespace {
+
+/// Human-friendly number formatting for the text tables: thousands
+/// separators for integral values, two decimals otherwise.
+std::string FormatCell(double value) {
+  if (std::abs(value) < 9.2e18 && value == std::floor(value)) {
+    return FormatWithCommas(static_cast<int64_t>(value));
+  }
+  return StringPrintf("%.2f", value);
+}
+
+Status MissingField(const std::string& field) {
+  return Status::Corruption("figure document: missing or malformed '" +
+                            field + "'");
+}
+
+StatusOr<std::string> ReadString(const JsonValue& object,
+                                 const std::string& key) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_string()) {
+    return MissingField(key);
+  }
+  return value->AsString();
+}
+
+}  // namespace
+
+const FigureSeries* FigureDoc::FindSeries(std::string_view name) const {
+  for (const FigureSeries& s : series) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+const double* FigureDoc::FindScalar(std::string_view name) const {
+  for (const auto& [key, value] : scalars) {
+    if (key == name) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+void FigureDoc::WriteJson(JsonWriter& out) const {
+  out.BeginObject();
+  out.Key("schema");
+  out.String(kFigureSchema);
+  out.Key("figure");
+  out.String(figure);
+  out.Key("title");
+  out.String(title);
+  out.Key("x_label");
+  out.String(x_label);
+  out.Key("y_label");
+  out.String(y_label);
+  out.Key("scale");
+  out.DoublePrecise(scale);
+  out.Key("x_tick_labels");
+  out.BeginArray();
+  for (const std::string& label : x_tick_labels) {
+    out.String(label);
+  }
+  out.EndArray();
+  out.Key("scalars");
+  out.BeginObject();
+  for (const auto& [name, value] : scalars) {
+    out.Key(name);
+    out.DoublePrecise(value);
+  }
+  out.EndObject();
+  out.Key("series");
+  out.BeginArray();
+  for (const FigureSeries& s : series) {
+    out.BeginObject();
+    out.Key("name");
+    out.String(s.name);
+    out.Key("metric");
+    out.String(s.metric);
+    out.Key("points");
+    out.BeginArray();
+    for (const FigurePoint& p : s.points) {
+      out.BeginObject();
+      out.Key("x");
+      out.DoublePrecise(p.x);
+      out.Key("y");
+      out.DoublePrecise(p.y);
+      out.EndObject();
+    }
+    out.EndArray();
+    out.EndObject();
+  }
+  out.EndArray();
+  out.EndObject();
+}
+
+std::string FigureDoc::ToJson() const {
+  JsonWriter out;
+  WriteJson(out);
+  return out.str();
+}
+
+StatusOr<FigureDoc> FigureDoc::FromJsonText(std::string_view text) {
+  auto parsed = JsonValue::Parse(text);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::Corruption("figure document: not a JSON object");
+  }
+  auto schema = ReadString(root, "schema");
+  if (!schema.ok()) {
+    return schema.status();
+  }
+  if (*schema != kFigureSchema) {
+    return Status::Corruption("figure document: schema '" + *schema +
+                              "' is not '" + std::string(kFigureSchema) +
+                              "'");
+  }
+  FigureDoc doc;
+  for (auto* field : {&doc.figure, &doc.title, &doc.x_label, &doc.y_label}) {
+    const char* key = field == &doc.figure    ? "figure"
+                      : field == &doc.title   ? "title"
+                      : field == &doc.x_label ? "x_label"
+                                              : "y_label";
+    auto value = ReadString(root, key);
+    if (!value.ok()) {
+      return value.status();
+    }
+    *field = std::move(value).value();
+  }
+  const JsonValue* scale = root.Find("scale");
+  if (scale == nullptr || !scale->is_number()) {
+    return MissingField("scale");
+  }
+  doc.scale = scale->AsDouble();
+
+  const JsonValue* ticks = root.Find("x_tick_labels");
+  if (ticks == nullptr || !ticks->is_array()) {
+    return MissingField("x_tick_labels");
+  }
+  for (const JsonValue& tick : ticks->AsArray()) {
+    if (!tick.is_string()) {
+      return MissingField("x_tick_labels");
+    }
+    doc.x_tick_labels.push_back(tick.AsString());
+  }
+
+  const JsonValue* scalars = root.Find("scalars");
+  if (scalars == nullptr || !scalars->is_object()) {
+    return MissingField("scalars");
+  }
+  for (const auto& [name, value] : scalars->AsObject()) {
+    if (!value.is_number()) {
+      return MissingField("scalars." + name);
+    }
+    doc.scalars.emplace_back(name, value.AsDouble());
+  }
+
+  const JsonValue* series = root.Find("series");
+  if (series == nullptr || !series->is_array()) {
+    return MissingField("series");
+  }
+  for (const JsonValue& entry : series->AsArray()) {
+    FigureSeries s;
+    auto name = ReadString(entry, "name");
+    auto metric = ReadString(entry, "metric");
+    if (!name.ok() || !metric.ok()) {
+      return MissingField("series entry");
+    }
+    s.name = std::move(name).value();
+    s.metric = std::move(metric).value();
+    const JsonValue* points = entry.Find("points");
+    if (points == nullptr || !points->is_array()) {
+      return MissingField("series '" + s.name + "' points");
+    }
+    for (const JsonValue& point : points->AsArray()) {
+      const JsonValue* x = point.Find("x");
+      const JsonValue* y = point.Find("y");
+      if (x == nullptr || y == nullptr || !x->is_number() ||
+          !y->is_number()) {
+        return MissingField("series '" + s.name + "' point");
+      }
+      s.points.push_back(FigurePoint{x->AsDouble(), y->AsDouble()});
+    }
+    doc.series.push_back(std::move(s));
+  }
+  return doc;
+}
+
+std::string FigureDoc::FormatText() const {
+  std::string out;
+  if (!scalars.empty()) {
+    size_t width = 0;
+    for (const auto& [name, value] : scalars) {
+      width = std::max(width, name.size());
+    }
+    for (const auto& [name, value] : scalars) {
+      out += StringPrintf("  %-*s  %14s\n", static_cast<int>(width),
+                          name.c_str(), FormatCell(value).c_str());
+    }
+  }
+  if (series.empty()) {
+    return out;
+  }
+
+  // One table per distinct metric, series as columns, x values as rows.
+  // Metrics keep first-appearance order.
+  std::vector<std::string> metrics;
+  for (const FigureSeries& s : series) {
+    bool seen = false;
+    for (const std::string& m : metrics) {
+      seen = seen || m == s.metric;
+    }
+    if (!seen) {
+      metrics.push_back(s.metric);
+    }
+  }
+  for (const std::string& metric : metrics) {
+    std::vector<const FigureSeries*> columns;
+    std::map<double, size_t> x_index;  // Sorted union of x values.
+    for (const FigureSeries& s : series) {
+      if (s.metric != metric) {
+        continue;
+      }
+      columns.push_back(&s);
+      for (const FigurePoint& p : s.points) {
+        x_index.emplace(p.x, x_index.size());
+      }
+    }
+    if (!out.empty()) {
+      out += '\n';
+    }
+    out += StringPrintf("  [%s]\n", metric.c_str());
+    out += StringPrintf("  %-14s", x_label.c_str());
+    for (const FigureSeries* column : columns) {
+      out += StringPrintf(" %14s", column->name.c_str());
+    }
+    out += '\n';
+    for (const auto& [x, unused] : x_index) {
+      std::string x_text;
+      const auto tick = static_cast<size_t>(x);
+      if (!x_tick_labels.empty() && x == std::floor(x) &&
+          tick < x_tick_labels.size()) {
+        x_text = x_tick_labels[tick];
+      } else {
+        x_text = FormatCell(x);
+      }
+      out += StringPrintf("  %-14s", x_text.c_str());
+      for (const FigureSeries* column : columns) {
+        const FigurePoint* found = nullptr;
+        for (const FigurePoint& p : column->points) {
+          if (p.x == x) {
+            found = &p;
+          }
+        }
+        out += StringPrintf(
+            " %14s", found != nullptr ? FormatCell(found->y).c_str() : "-");
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace psj::report

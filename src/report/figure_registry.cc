@@ -1,0 +1,411 @@
+#include "report/figure_registry.h"
+
+#include <cstring>
+
+#include "core/cost_model.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace psj::report {
+namespace {
+
+/// Runs the grid through the parallel experiment driver and unwraps the
+/// results (the grids below are valid by construction, so a failure is a
+/// bug, not an input error).
+std::vector<JoinResult> RunBatch(const PaperWorkload& workload,
+                                 const std::vector<ParallelJoinConfig>& grid,
+                                 const RunOptions& options) {
+  auto batch = workload.RunJoins(grid, options.num_threads);
+  std::vector<JoinResult> results;
+  results.reserve(batch.size());
+  for (auto& result : batch) {
+    PSJ_CHECK(result.ok()) << "figure run failed: "
+                           << result.status().ToString();
+    results.push_back(std::move(result).value());
+  }
+  return results;
+}
+
+FigureSeries MakeSeries(std::string name, std::string metric) {
+  FigureSeries s;
+  s.name = std::move(name);
+  s.metric = std::move(metric);
+  return s;
+}
+
+int64_t PairsMoved(const JoinStats& stats) {
+  int64_t moved = 0;
+  for (const ProcessorStats& p : stats.per_processor) {
+    moved += p.pairs_stolen;
+  }
+  return moved;
+}
+
+struct Variant {
+  const char* label;
+  ParallelJoinConfig base;
+};
+
+std::vector<Variant> PaperVariants() {
+  return {{"lsr", ParallelJoinConfig::Lsr()},
+          {"gsrr", ParallelJoinConfig::Gsrr()},
+          {"gd", ParallelJoinConfig::Gd()}};
+}
+
+// --- Figure 5: disk accesses vs. total LRU buffer size --------------------
+
+FigureDoc RunFig5(const PaperWorkload& workload, const RunOptions& options) {
+  constexpr size_t kBufferSizes[] = {200, 400, 800, 1600, 2400, 3200};
+  constexpr int kProcessorCounts[] = {8, 24};
+
+  FigureDoc doc;
+  std::vector<ParallelJoinConfig> grid;
+  for (int n : kProcessorCounts) {
+    for (const Variant& variant : PaperVariants()) {
+      for (size_t buffer : kBufferSizes) {
+        ParallelJoinConfig config = variant.base;
+        config.reassignment = ReassignmentLevel::kRootLevel;
+        config.num_processors = n;
+        config.num_disks = n;
+        config.total_buffer_pages = buffer;
+        grid.push_back(config);
+      }
+    }
+  }
+  const std::vector<JoinResult> results = RunBatch(workload, grid, options);
+  size_t run = 0;
+  for (int n : kProcessorCounts) {
+    for (const Variant& variant : PaperVariants()) {
+      FigureSeries s = MakeSeries(StringPrintf("%s n=%d", variant.label, n),
+                                  "disk_accesses");
+      for (size_t buffer : kBufferSizes) {
+        s.points.push_back(FigurePoint{
+            static_cast<double>(buffer),
+            static_cast<double>(results[run++].stats.total_disk_accesses)});
+      }
+      doc.series.push_back(std::move(s));
+    }
+  }
+  return doc;
+}
+
+// --- Figure 7: task reassignment levels -----------------------------------
+
+FigureDoc RunFig7(const PaperWorkload& workload, const RunOptions& options) {
+  constexpr ReassignmentLevel kLevels[] = {ReassignmentLevel::kNone,
+                                           ReassignmentLevel::kRootLevel,
+                                           ReassignmentLevel::kAllLevels};
+  FigureDoc doc;
+  doc.x_tick_labels = {"none", "root", "all"};
+
+  std::vector<ParallelJoinConfig> grid;
+  for (const Variant& variant : PaperVariants()) {
+    for (ReassignmentLevel level : kLevels) {
+      ParallelJoinConfig config = variant.base;
+      config.num_processors = 8;
+      config.num_disks = 8;
+      config.total_buffer_pages = 800;
+      config.reassignment = level;
+      grid.push_back(config);
+    }
+  }
+  const std::vector<JoinResult> results = RunBatch(workload, grid, options);
+  size_t run = 0;
+  for (const Variant& variant : PaperVariants()) {
+    FigureSeries first =
+        MakeSeries(StringPrintf("%s first", variant.label), "first_finish_us");
+    FigureSeries avg =
+        MakeSeries(StringPrintf("%s avg", variant.label), "avg_finish_us");
+    FigureSeries last = MakeSeries(StringPrintf("%s last", variant.label),
+                                   "response_time_us");
+    FigureSeries disk =
+        MakeSeries(StringPrintf("%s disk", variant.label), "disk_accesses");
+    FigureSeries moved =
+        MakeSeries(StringPrintf("%s moved", variant.label), "pairs_moved");
+    for (size_t level = 0; level < std::size(kLevels); ++level) {
+      const JoinStats& stats = results[run++].stats;
+      const auto x = static_cast<double>(level);
+      first.points.push_back(
+          FigurePoint{x, static_cast<double>(stats.first_finish)});
+      avg.points.push_back(
+          FigurePoint{x, static_cast<double>(stats.avg_finish)});
+      last.points.push_back(
+          FigurePoint{x, static_cast<double>(stats.response_time)});
+      disk.points.push_back(
+          FigurePoint{x, static_cast<double>(stats.total_disk_accesses)});
+      moved.points.push_back(
+          FigurePoint{x, static_cast<double>(PairsMoved(stats))});
+    }
+    for (FigureSeries* s : {&first, &avg, &last, &disk, &moved}) {
+      doc.series.push_back(std::move(*s));
+    }
+  }
+  return doc;
+}
+
+// --- Figure 8: victim selection -------------------------------------------
+
+FigureDoc RunFig8(const PaperWorkload& workload, const RunOptions& options) {
+  constexpr VictimPolicy kPolicies[] = {VictimPolicy::kMostLoaded,
+                                        VictimPolicy::kArbitrary};
+  FigureDoc doc;
+  doc.x_tick_labels = {"most-loaded", "arbitrary"};
+
+  std::vector<ParallelJoinConfig> grid;
+  for (const Variant& variant : PaperVariants()) {
+    for (VictimPolicy policy : kPolicies) {
+      ParallelJoinConfig config = variant.base;
+      config.num_processors = 8;
+      config.num_disks = 8;
+      config.total_buffer_pages = 800;
+      config.reassignment = ReassignmentLevel::kAllLevels;
+      config.victim_policy = policy;
+      grid.push_back(config);
+    }
+  }
+  const std::vector<JoinResult> results = RunBatch(workload, grid, options);
+  size_t run = 0;
+  for (const Variant& variant : PaperVariants()) {
+    FigureSeries s = MakeSeries(variant.label, "disk_accesses");
+    for (size_t policy = 0; policy < std::size(kPolicies); ++policy) {
+      s.points.push_back(FigurePoint{
+          static_cast<double>(policy),
+          static_cast<double>(results[run++].stats.total_disk_accesses)});
+    }
+    doc.series.push_back(std::move(s));
+  }
+  return doc;
+}
+
+// --- Figures 9 & 10: scaling of the best variant --------------------------
+
+constexpr int kScalingProcessorCounts[] = {1, 2, 4, 6, 8, 10, 12, 16, 20, 24};
+
+ParallelJoinConfig ScalingConfig(int processors, int disks) {
+  ParallelJoinConfig config = ParallelJoinConfig::Gd();
+  config.reassignment = ReassignmentLevel::kAllLevels;
+  config.num_processors = processors;
+  config.num_disks = disks;
+  config.total_buffer_pages =
+      static_cast<size_t>(100) * static_cast<size_t>(processors);
+  return config;
+}
+
+/// The three disk configurations of Figures 9/10: d = 1, d = 8, d = n.
+std::vector<ParallelJoinConfig> ScalingGrid() {
+  std::vector<ParallelJoinConfig> grid;
+  for (int n : kScalingProcessorCounts) {
+    grid.push_back(ScalingConfig(n, 1));
+    grid.push_back(ScalingConfig(n, 8));
+    grid.push_back(ScalingConfig(n, n));
+  }
+  return grid;
+}
+
+FigureDoc RunFig9(const PaperWorkload& workload, const RunOptions& options) {
+  FigureDoc doc;
+  const std::vector<JoinResult> results =
+      RunBatch(workload, ScalingGrid(), options);
+  const char* kDiskLabels[] = {"d=1", "d=8", "d=n"};
+  for (size_t d = 0; d < 3; ++d) {
+    FigureSeries s = MakeSeries(kDiskLabels[d], "response_time_us");
+    for (size_t i = 0; i < std::size(kScalingProcessorCounts); ++i) {
+      s.points.push_back(FigurePoint{
+          static_cast<double>(kScalingProcessorCounts[i]),
+          static_cast<double>(results[i * 3 + d].stats.response_time)});
+    }
+    doc.series.push_back(std::move(s));
+  }
+  return doc;
+}
+
+FigureDoc RunFig10(const PaperWorkload& workload, const RunOptions& options) {
+  // The t(1) baseline rides at the front of the same parallel batch.
+  std::vector<ParallelJoinConfig> grid;
+  grid.push_back(ScalingConfig(1, 1));
+  for (const ParallelJoinConfig& config : ScalingGrid()) {
+    grid.push_back(config);
+  }
+  const std::vector<JoinResult> results = RunBatch(workload, grid, options);
+  const JoinStats& base = results[0].stats;
+
+  FigureDoc doc;
+  doc.scalars.emplace_back("t1_response_time_us",
+                           static_cast<double>(base.response_time));
+  doc.scalars.emplace_back("t1_total_task_time_us",
+                           static_cast<double>(base.total_task_time));
+  const char* kDiskLabels[] = {"d=1", "d=8", "d=n"};
+  for (size_t d = 0; d < 3; ++d) {
+    FigureSeries speedup =
+        MakeSeries(StringPrintf("speedup %s", kDiskLabels[d]), "speedup");
+    FigureSeries disk =
+        MakeSeries(StringPrintf("disk %s", kDiskLabels[d]), "disk_accesses");
+    for (size_t i = 0; i < std::size(kScalingProcessorCounts); ++i) {
+      const JoinStats& stats = results[1 + i * 3 + d].stats;
+      const auto x = static_cast<double>(kScalingProcessorCounts[i]);
+      speedup.points.push_back(
+          FigurePoint{x, static_cast<double>(base.response_time) /
+                             static_cast<double>(stats.response_time)});
+      disk.points.push_back(FigurePoint{
+          x, static_cast<double>(stats.total_disk_accesses)});
+    }
+    doc.series.push_back(std::move(speedup));
+    doc.series.push_back(std::move(disk));
+  }
+  // §4.5: the total run time of all tasks stays within a few percent of
+  // t(1) (measured on the d = n column).
+  FigureSeries ratio = MakeSeries("task time vs t(1), d=n",
+                                  "total_task_time_ratio_pct");
+  for (size_t i = 0; i < std::size(kScalingProcessorCounts); ++i) {
+    const JoinStats& stats = results[1 + i * 3 + 2].stats;
+    ratio.points.push_back(FigurePoint{
+        static_cast<double>(kScalingProcessorCounts[i]),
+        100.0 * static_cast<double>(stats.total_task_time) /
+            static_cast<double>(base.total_task_time)});
+  }
+  doc.series.push_back(std::move(ratio));
+  return doc;
+}
+
+// --- Tables 1 & 2 ---------------------------------------------------------
+
+void AppendTreeScalars(FigureDoc& doc, const char* prefix,
+                       const RStarTree& tree) {
+  const RTreeShapeStats stats = tree.ComputeShapeStats();
+  doc.scalars.emplace_back(StringPrintf("%s_height", prefix),
+                           static_cast<double>(stats.height));
+  doc.scalars.emplace_back(StringPrintf("%s_data_entries", prefix),
+                           static_cast<double>(stats.num_data_entries));
+  doc.scalars.emplace_back(StringPrintf("%s_data_pages", prefix),
+                           static_cast<double>(stats.num_data_pages));
+  doc.scalars.emplace_back(StringPrintf("%s_dir_pages", prefix),
+                           static_cast<double>(stats.num_dir_pages));
+  doc.scalars.emplace_back(StringPrintf("%s_avg_data_fill_pct", prefix),
+                           100.0 * stats.avg_data_fill);
+}
+
+FigureDoc RunTable1(const PaperWorkload& workload,
+                    const RunOptions& options) {
+  (void)options;
+  FigureDoc doc;
+  AppendTreeScalars(doc, "tree_r", workload.tree_r());
+  AppendTreeScalars(doc, "tree_s", workload.tree_s());
+  doc.scalars.emplace_back(
+      "root_task_pairs_m", static_cast<double>(workload.CountRootTaskPairs()));
+  return doc;
+}
+
+FigureDoc RunTable2(const PaperWorkload& workload,
+                    const RunOptions& options) {
+  (void)workload;
+  (void)options;
+  const CostModel costs;
+  FigureDoc doc;
+  const std::pair<const char*, sim::SimTime> entries[] = {
+      {"disk_seek_us", costs.disk.seek},
+      {"disk_latency_us", costs.disk.latency},
+      {"disk_page_transfer_us", costs.disk.page_transfer},
+      {"disk_cluster_extra_us", costs.disk.cluster_extra},
+      {"directory_page_cost_us", costs.disk.DirectoryPageCost()},
+      {"data_page_with_cluster_cost_us",
+       costs.disk.DataPageWithClusterCost()},
+      {"buffer_local_hit_us", costs.buffer.local_hit},
+      {"buffer_remote_hit_us", costs.buffer.remote_hit},
+      {"buffer_directory_access_us", costs.buffer.directory_access},
+      {"buffer_rpc_request_us", costs.buffer.rpc_request},
+      {"refine_min_us", costs.refine_min},
+      {"refine_max_us", costs.refine_max},
+      {"cpu_per_entry_sorted_us", costs.cpu_per_entry_sorted},
+      {"cpu_per_pair_tested_us", costs.cpu_per_pair_tested},
+      {"path_buffer_hit_us", costs.path_buffer_hit},
+      {"task_creation_per_pair_us", costs.task_creation_per_pair},
+      {"task_queue_access_us", costs.task_queue_access},
+      {"task_ready_notify_us", costs.task_ready_notify},
+      {"reassign_message_delay_us", costs.reassign_message_delay},
+      {"reassign_handling_cpu_us", costs.reassign_handling_cpu},
+      {"idle_poll_interval_us", costs.idle_poll_interval},
+  };
+  for (const auto& [name, value] : entries) {
+    doc.scalars.emplace_back(name, static_cast<double>(value));
+  }
+  return doc;
+}
+
+}  // namespace
+
+const std::vector<FigureSpec>& FigureRegistry() {
+  static const std::vector<FigureSpec> kRegistry = {
+      {"fig5",
+       "Figure 5: Disk accesses vs. total LRU buffer size (lsr/gsrr/gd)",
+       "buffer pages", "disk accesses",
+       "disk accesses fall as the buffer grows; lsr and gsrr are close, the "
+       "global buffer profits more from larger buffers, gd is best; 24 "
+       "processors need more accesses than 8 (smaller per-CPU buffer share)",
+       RunFig5},
+      {"fig7",
+       "Figure 7: Performance with and without task reassignment "
+       "(n = d = 8, buffer 800 pages)",
+       "reassignment", "virtual us / disk accesses / pairs",
+       "reassignment shrinks the first-to-last finish spread sharply for lsr "
+       "and gsrr at a small disk-access cost; for gd, root-level "
+       "reassignment changes nothing (work is already pulled task-by-task) "
+       "and all-levels helps only a little",
+       RunFig7},
+      {"fig8",
+       "Figure 8: Victim selection for task reassignment (n = d = 8)",
+       "victim policy", "disk accesses",
+       "with local buffers, helping an arbitrary processor costs a few more "
+       "disk accesses than helping the most loaded one; with a global "
+       "buffer the two policies are nearly identical",
+       RunFig8},
+      {"fig9",
+       "Figure 9: Response time vs. number of processors (gd, reassignment "
+       "on all levels, buffer = 100 pages/CPU)",
+       "processors", "response time (virtual us)",
+       "d = 1 flattens around 4 processors (the single disk saturates); "
+       "d = 8 keeps improving until ~10 processors; d = n falls nearly "
+       "linearly (paper: 62.8 s at n = d = 24)",
+       RunFig9},
+      {"fig10",
+       "Figure 10: Speed up and disk accesses vs. number of processors",
+       "processors", "speedup / disk accesses",
+       "speed up saturates near 4 with one disk and near 10 with 8 disks; "
+       "with d = n it stays almost linear (paper: 22.6 at n = 24) helped by "
+       "the growing global buffer reducing disk accesses; the total run "
+       "time of all tasks stays within a few percent of t(1)",
+       RunFig10},
+      {"table1", "Table 1: Parameters of the R*-trees", "", "",
+       "height 3; ~131k/127k entries; ~7.0k/6.8k data pages; ~95/92 "
+       "directory pages; m ~ 404 (at scale 1.0)",
+       RunTable1},
+      {"table2", "Table 2: Parameters of the KSR1 platform (cost model)", "",
+       "",
+       "local buffer access ~10x faster than another processor's buffer; "
+       "16 ms per directory page; 37.5 ms per data page + geometry cluster; "
+       "2-18 ms (avg ~10 ms) per exact-geometry test",
+       RunTable2},
+  };
+  return kRegistry;
+}
+
+const FigureSpec* FindFigureSpec(std::string_view name) {
+  for (const FigureSpec& spec : FigureRegistry()) {
+    if (name == spec.name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+FigureDoc RunFigure(const FigureSpec& spec, const PaperWorkload& workload,
+                    const RunOptions& options) {
+  FigureDoc doc = spec.run(workload, options);
+  doc.figure = spec.name;
+  doc.title = spec.title;
+  doc.x_label = spec.x_label;
+  doc.y_label = spec.y_label;
+  doc.scale = options.scale;
+  return doc;
+}
+
+}  // namespace psj::report

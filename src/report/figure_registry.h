@@ -1,0 +1,52 @@
+#ifndef PSJ_REPORT_FIGURE_REGISTRY_H_
+#define PSJ_REPORT_FIGURE_REGISTRY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.h"
+#include "report/figure_doc.h"
+
+namespace psj::report {
+
+/// Execution parameters shared by every registry run.
+struct RunOptions {
+  /// Host threads of the ExperimentDriver sweep (<= 0: driver default).
+  /// Wall-clock only — results are bit-identical at any width.
+  int num_threads = 0;
+  /// Workload scale the caller built the PaperWorkload at; recorded in the
+  /// emitted document so golden comparisons can reject scale mismatches.
+  double scale = 1.0;
+};
+
+/// \brief One entry of the experiment registry: a paper artifact
+/// (figure or table) and the sweep that reproduces it.
+struct FigureSpec {
+  const char* name;         // Registry key: "fig5" ... "table2".
+  const char* title;        // Paper caption.
+  const char* x_label;
+  const char* y_label;
+  /// Qualitative shape the paper reports — printed by the bench harness
+  /// headers and the Markdown report.
+  const char* expectation;
+  /// Runs the scaled-down sweep over `workload` (config grid through the
+  /// parallel ExperimentDriver) and collects the artifact's series.
+  FigureDoc (*run)(const PaperWorkload& workload, const RunOptions& options);
+};
+
+/// All paper artifacts in document order: fig5, fig7, fig8, fig9, fig10,
+/// table1, table2. (Figure 6 is a timeline photograph, reproduced by
+/// `psj_cli join --timeline` rather than a sweep.)
+const std::vector<FigureSpec>& FigureRegistry();
+
+/// Registry entry by name, or nullptr.
+const FigureSpec* FindFigureSpec(std::string_view name);
+
+/// Runs one registry entry and stamps the spec's metadata plus
+/// `options.scale` into the returned document.
+FigureDoc RunFigure(const FigureSpec& spec, const PaperWorkload& workload,
+                    const RunOptions& options);
+
+}  // namespace psj::report
+
+#endif  // PSJ_REPORT_FIGURE_REGISTRY_H_

@@ -1,0 +1,260 @@
+#include "report/speedup_profiler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace psj::report {
+namespace {
+
+/// Span classes by priority: when spans overlap (I/O nests inside a task),
+/// the most specific class wins the interval, so the measures are disjoint
+/// and the partition is exact.
+enum SpanClass : int {
+  kClassQueue = 0,   // kDiskQueue (disk track, attributed by requester).
+  kClassRemote,      // kBufferRemoteHit.
+  kClassIo,          // kBufferMiss minus the queue share = disk service.
+  kClassSteal,       // kSteal.
+  kClassTask,        // kTask minus everything above = compute.
+  kClassCreate,      // kTaskCreation.
+  kNumClasses,
+};
+
+struct Boundary {
+  sim::SimTime time = 0;
+  int span_class = 0;
+  int delta = 0;  // +1 span opens, -1 span closes, 0 breakpoint marker.
+};
+
+/// Classifies one processor's horizon with a priority sweepline over its
+/// clipped spans. Idle gaps are attributed by position: before the first
+/// assignment -> sequential, after the own last work -> imbalance,
+/// otherwise starvation.
+ProcessorBreakdown SweepProcessor(std::vector<Boundary> boundaries, int cpu,
+                                  sim::SimTime horizon,
+                                  sim::SimTime seq_window_end,
+                                  sim::SimTime last_work) {
+  ProcessorBreakdown row;
+  row.processor = cpu;
+  if (horizon <= 0) {
+    return row;
+  }
+  // Breakpoints so every idle segment falls entirely into one attribution
+  // window.
+  boundaries.push_back(Boundary{seq_window_end, 0, 0});
+  boundaries.push_back(Boundary{last_work, 0, 0});
+  boundaries.push_back(Boundary{0, 0, 0});
+  boundaries.push_back(Boundary{horizon, 0, 0});
+  std::sort(boundaries.begin(), boundaries.end(),
+            [](const Boundary& a, const Boundary& b) {
+              return a.time < b.time;
+            });
+
+  sim::SimTime class_time[kNumClasses] = {};
+  sim::SimTime sequential_idle = 0;
+  sim::SimTime starvation = 0;
+  sim::SimTime imbalance = 0;
+
+  int active[kNumClasses] = {};
+  size_t i = 0;
+  while (i < boundaries.size()) {
+    const sim::SimTime t0 = boundaries[i].time;
+    while (i < boundaries.size() && boundaries[i].time == t0) {
+      active[boundaries[i].span_class] += boundaries[i].delta;
+      ++i;
+    }
+    if (i >= boundaries.size()) {
+      break;
+    }
+    const sim::SimTime t1 = boundaries[i].time;
+    if (t1 <= t0 || t0 >= horizon) {
+      continue;
+    }
+    const sim::SimTime width = std::min(t1, horizon) - t0;
+    int covering = -1;
+    for (int c = 0; c < kNumClasses && covering < 0; ++c) {
+      if (active[c] > 0) {
+        covering = c;
+      }
+    }
+    if (covering >= 0) {
+      class_time[covering] += width;
+    } else if (t1 <= seq_window_end) {
+      sequential_idle += width;
+    } else if (t0 >= last_work) {
+      imbalance += width;
+    } else {
+      starvation += width;
+    }
+  }
+
+  row.disk_queue = class_time[kClassQueue];
+  row.remote_hit = class_time[kClassRemote];
+  row.disk_service = class_time[kClassIo];
+  row.steal = class_time[kClassSteal];
+  row.compute = class_time[kClassTask];
+  row.sequential = class_time[kClassCreate] + sequential_idle;
+  row.starvation = starvation;
+  row.imbalance = imbalance;
+  return row;
+}
+
+void AddInto(ProcessorBreakdown& total, const ProcessorBreakdown& row) {
+  total.compute += row.compute;
+  total.disk_queue += row.disk_queue;
+  total.disk_service += row.disk_service;
+  total.remote_hit += row.remote_hit;
+  total.steal += row.steal;
+  total.sequential += row.sequential;
+  total.starvation += row.starvation;
+  total.imbalance += row.imbalance;
+}
+
+}  // namespace
+
+double SpeedupDecomposition::UsefulFraction() const {
+  if (total_virtual_time <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(totals.compute + totals.disk_service) /
+         static_cast<double>(total_virtual_time);
+}
+
+std::string SpeedupDecomposition::Format() const {
+  std::string out = StringPrintf(
+      "speedup decomposition: %s\n"
+      "  n=%d  response %s s  total processor time %s s  useful %.1f%%\n",
+      label.empty() ? "(unlabeled run)" : label.c_str(), num_processors,
+      FormatMicrosAsSeconds(response_time).c_str(),
+      FormatMicrosAsSeconds(total_virtual_time).c_str(),
+      100.0 * UsefulFraction());
+  const std::pair<const char*, sim::SimTime> rows[] = {
+      {"compute", totals.compute},
+      {"disk service", totals.disk_service},
+      {"disk queue wait", totals.disk_queue},
+      {"remote buffer hits", totals.remote_hit},
+      {"steal round-trips", totals.steal},
+      {"sequential phase", totals.sequential},
+      {"starvation idle", totals.starvation},
+      {"terminal imbalance", totals.imbalance},
+  };
+  const double total = total_virtual_time > 0
+                           ? static_cast<double>(total_virtual_time)
+                           : 1.0;
+  out += StringPrintf("  %-20s %14s %8s\n", "term", "virtual s", "share");
+  for (const auto& [name, value] : rows) {
+    out += StringPrintf("  %-20s %14s %7.1f%%\n", name,
+                        FormatMicrosAsSeconds(value).c_str(),
+                        100.0 * static_cast<double>(value) / total);
+  }
+  const double horizon =
+      response_time > 0 ? static_cast<double>(response_time) : 1.0;
+  for (const ProcessorBreakdown& p : per_processor) {
+    out += StringPrintf(
+        "  cpu %-3d comp %5.1f%%  disk %5.1f%%  queue %5.1f%%  remote "
+        "%4.1f%%  steal %4.1f%%  seq %5.1f%%  starve %5.1f%%  imb %5.1f%%\n",
+        p.processor, 100.0 * static_cast<double>(p.compute) / horizon,
+        100.0 * static_cast<double>(p.disk_service) / horizon,
+        100.0 * static_cast<double>(p.disk_queue) / horizon,
+        100.0 * static_cast<double>(p.remote_hit) / horizon,
+        100.0 * static_cast<double>(p.steal) / horizon,
+        100.0 * static_cast<double>(p.sequential) / horizon,
+        100.0 * static_cast<double>(p.starvation) / horizon,
+        100.0 * static_cast<double>(p.imbalance) / horizon);
+  }
+  return out;
+}
+
+SpeedupDecomposition DecomposeSpeedup(const trace::TraceSink& sink,
+                                      const JoinStats& stats,
+                                      std::string label) {
+  SpeedupDecomposition decomposition;
+  decomposition.label = std::move(label);
+  const int n = static_cast<int>(stats.per_processor.size());
+  decomposition.num_processors = n;
+  decomposition.response_time = stats.response_time;
+  decomposition.total_virtual_time =
+      stats.response_time * static_cast<sim::SimTime>(n);
+  if (n == 0) {
+    return decomposition;
+  }
+  const sim::SimTime horizon = stats.response_time;
+  const sim::SimTime creation_end =
+      std::clamp<sim::SimTime>(stats.task_creation_time, 0, horizon);
+
+  // One pass over the sink: open/close boundaries per processor. Disk-queue
+  // spans live on disk tracks and are attributed to the requesting
+  // processor via arg0. Processor 0's I/O during the sequential creation
+  // phase counts as sequential phase, not disk time, so its pre-creation
+  // I/O spans are skipped.
+  std::vector<std::vector<Boundary>> boundaries(static_cast<size_t>(n));
+  const auto add_span = [&](int cpu, int span_class, sim::SimTime start,
+                            sim::SimTime end) {
+    start = std::clamp<sim::SimTime>(start, 0, horizon);
+    end = std::clamp<sim::SimTime>(end, 0, horizon);
+    if (end <= start) {
+      return;
+    }
+    boundaries[static_cast<size_t>(cpu)].push_back(
+        Boundary{start, span_class, +1});
+    boundaries[static_cast<size_t>(cpu)].push_back(
+        Boundary{end, span_class, -1});
+  };
+  for (const trace::TraceEvent& event : sink.events()) {
+    if (event.category == trace::Category::kDiskQueue) {
+      const auto cpu = event.arg0;
+      if (cpu < 0 || cpu >= n ||
+          (cpu == 0 && event.start < creation_end)) {
+        continue;
+      }
+      add_span(static_cast<int>(cpu), kClassQueue, event.start, event.end);
+      continue;
+    }
+    if (event.track < 0 || event.track >= n) {
+      continue;
+    }
+    const int cpu = event.track;
+    switch (event.category) {
+      case trace::Category::kBufferRemoteHit:
+      case trace::Category::kBufferMiss: {
+        if (cpu == 0 && event.start < creation_end) {
+          continue;  // Creation-phase I/O belongs to the sequential term.
+        }
+        const int span_class =
+            event.category == trace::Category::kBufferRemoteHit ? kClassRemote
+                                                                : kClassIo;
+        add_span(cpu, span_class, event.start, event.end);
+        break;
+      }
+      case trace::Category::kSteal:
+        add_span(cpu, kClassSteal, event.start, event.end);
+        break;
+      case trace::Category::kTask:
+        add_span(cpu, kClassTask, event.start, event.end);
+        break;
+      case trace::Category::kTaskCreation:
+        add_span(cpu, kClassCreate, event.start, event.end);
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (int cpu = 0; cpu < n; ++cpu) {
+    const sim::SimTime last_work = std::clamp<sim::SimTime>(
+        stats.per_processor[static_cast<size_t>(cpu)].last_work_time, 0,
+        horizon);
+    const sim::SimTime seq_window_end = std::min(creation_end, last_work);
+    ProcessorBreakdown row =
+        SweepProcessor(std::move(boundaries[static_cast<size_t>(cpu)]), cpu,
+                       horizon, seq_window_end, last_work);
+    PSJ_CHECK_EQ(row.Total(), horizon)
+        << "speedup decomposition lost virtual time on cpu " << cpu;
+    AddInto(decomposition.totals, row);
+    decomposition.per_processor.push_back(row);
+  }
+  return decomposition;
+}
+
+}  // namespace psj::report

@@ -1,0 +1,80 @@
+#ifndef PSJ_REPORT_SPEEDUP_PROFILER_H_
+#define PSJ_REPORT_SPEEDUP_PROFILER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/join_stats.h"
+#include "trace/trace_sink.h"
+
+namespace psj::report {
+
+/// Exhaustive classification of one processor's virtual time over the whole
+/// run horizon [0, response_time). The eight terms partition the horizon —
+/// Total() == response_time exactly, by construction (the profiler test
+/// enforces this accounting invariant across all variant configs).
+struct ProcessorBreakdown {
+  int processor = 0;
+
+  sim::SimTime compute = 0;       // Task execution: filter CPU + refinement.
+  sim::SimTime disk_queue = 0;    // Own requests waiting in a disk queue.
+  sim::SimTime disk_service = 0;  // Own requests being served by a disk.
+  sim::SimTime remote_hit = 0;    // Page transfers from other processors'
+                                  // buffer partitions (SVM penalty).
+  sim::SimTime steal = 0;         // Reassignment round-trips on the thief.
+  sim::SimTime sequential = 0;    // The sequential task-creation phase:
+                                  // creating tasks (processor 0) or waiting
+                                  // for the first assignment (the rest).
+  sim::SimTime starvation = 0;    // Idle while the run was still going
+                                  // (no task available, failed steals).
+  sim::SimTime imbalance = 0;     // Idle after own last work until the
+                                  // slowest processor finished (Figure 7's
+                                  // first-to-last spread).
+
+  sim::SimTime Total() const {
+    return compute + disk_queue + disk_service + remote_hit + steal +
+           sequential + starvation + imbalance;
+  }
+
+  friend bool operator==(const ProcessorBreakdown&,
+                         const ProcessorBreakdown&) = default;
+};
+
+/// \brief Where the speedup went: the paper's Figure 7/8 narrative computed
+/// from a recorded trace instead of eyeballed from timelines.
+///
+/// A perfectly parallel run would spend all n * response_time of processor
+/// time in compute + disk work; every other term is lost speedup,
+/// attributed to its cause.
+struct SpeedupDecomposition {
+  std::string label;          // Config description, e.g. "gd/all n=8 d=8".
+  int num_processors = 0;
+  sim::SimTime response_time = 0;
+  /// num_processors * response_time; equals the sum of all per-processor
+  /// terms (the accounting invariant).
+  sim::SimTime total_virtual_time = 0;
+
+  ProcessorBreakdown totals;  // Element-wise sum over per_processor.
+  std::vector<ProcessorBreakdown> per_processor;
+
+  /// Fraction of total processor time spent on work the one-processor
+  /// baseline also performs (compute + disk service), in [0, 1]. The gap
+  /// to 1 is the computed "lost speedup".
+  double UsefulFraction() const;
+
+  /// Fixed-width text: one row per term with absolute virtual time and the
+  /// share of total processor time, plus a per-processor strip.
+  std::string Format() const;
+};
+
+/// Decomposes one traced run. `stats` must belong to the same run as
+/// `sink` (the profiler combines span coverage with the stats' phase
+/// boundaries). Handles empty traces, single-event traces and
+/// zero-duration runs; the term partition is exhaustive in every case.
+SpeedupDecomposition DecomposeSpeedup(const trace::TraceSink& sink,
+                                      const JoinStats& stats,
+                                      std::string label = "");
+
+}  // namespace psj::report
+
+#endif  // PSJ_REPORT_SPEEDUP_PROFILER_H_

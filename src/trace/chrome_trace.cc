@@ -62,7 +62,9 @@ void EmitEvent(JsonWriter& json, const TraceEvent& event) {
   json.EndObject();
 }
 
-void EmitHistogram(JsonWriter& json, const Histogram& histogram) {
+}  // namespace
+
+void WriteHistogramJson(JsonWriter& json, const Histogram& histogram) {
   json.BeginObject();
   json.Key("count");
   json.Int(histogram.total_count());
@@ -86,8 +88,6 @@ void EmitHistogram(JsonWriter& json, const Histogram& histogram) {
   json.EndArray();
   json.EndObject();
 }
-
-}  // namespace
 
 std::string ExportChromeTrace(const TraceSink& sink) {
   // Sort by full event content, not just start time: record order at equal
@@ -135,7 +135,7 @@ std::string ExportChromeTrace(const TraceSink& sink) {
   json.BeginObject();
   for (const std::string& name : sink.histogram_names()) {
     json.Key(name);
-    EmitHistogram(json, *sink.FindHistogram(name));
+    WriteHistogramJson(json, *sink.FindHistogram(name));
   }
   json.EndObject();
   json.EndObject();

@@ -5,7 +5,16 @@
 
 #include "trace/trace_sink.h"
 
+namespace psj {
+class JsonWriter;
+}
+
 namespace psj::trace {
+
+/// Emits one histogram as a JSON object: count/sum/min/max plus the
+/// non-empty power-of-two buckets. Shared by the Chrome trace metadata and
+/// `psj_cli join --json`.
+void WriteHistogramJson(JsonWriter& json, const Histogram& histogram);
 
 /// \brief Serializes a sink as Chrome trace-event JSON, loadable in
 /// `about://tracing` and Perfetto.

@@ -1,0 +1,95 @@
+#include "trace/flame.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string_view>
+#include <vector>
+
+namespace psj::trace {
+namespace {
+
+struct OpenSpan {
+  TraceTime end = 0;
+  std::string stack;        // Full "track;frame;..;frame" path.
+  TraceTime self_time = 0;  // Duration minus direct children, so far.
+};
+
+std::string_view FrameName(const TraceEvent& event) {
+  return event.name != nullptr ? std::string_view(event.name)
+                               : ToString(event.category);
+}
+
+}  // namespace
+
+std::string ExportCollapsedStacks(const TraceSink& sink) {
+  // Spans grouped per track; nesting is only meaningful within a track.
+  std::map<int32_t, std::vector<const TraceEvent*>> per_track;
+  for (const TraceEvent& event : sink.events()) {
+    if (event.end > event.start) {
+      per_track[event.track].push_back(&event);
+    }
+  }
+
+  std::map<std::string, TraceTime> self_times;
+  for (auto& [track, spans] : per_track) {
+    // start asc, end desc: a parent sorts before the children it encloses.
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       if (a->start != b->start) return a->start < b->start;
+                       return a->end > b->end;
+                     });
+    const std::string root = sink.TrackName(track);
+    std::vector<OpenSpan> stack;
+    const auto close_until = [&](TraceTime time) {
+      while (!stack.empty() && stack.back().end <= time) {
+        self_times[stack.back().stack] += stack.back().self_time;
+        stack.pop_back();
+      }
+    };
+    for (const TraceEvent* span : spans) {
+      close_until(span->start);
+      const TraceTime duration = span->end - span->start;
+      if (!stack.empty() && span->end <= stack.back().end) {
+        stack.back().self_time -= duration;
+      } else {
+        // Overlapping-but-not-nested spans (or a child outliving a popped
+        // parent) start a fresh root-level stack; time is never dropped.
+        close_until(span->end);
+      }
+      OpenSpan open;
+      open.end = span->end;
+      open.stack = (stack.empty() ? root : stack.back().stack) + ";";
+      open.stack += FrameName(*span);
+      open.self_time = duration;
+      stack.push_back(std::move(open));
+    }
+    close_until(std::numeric_limits<TraceTime>::max());
+  }
+
+  // std::map iteration gives the lexicographic, canonical line order.
+  std::string out;
+  for (const auto& [stack, self_time] : self_times) {
+    if (self_time <= 0) {
+      continue;  // Fully covered by children.
+    }
+    out += stack;
+    out += ' ';
+    out += std::to_string(self_time);
+    out += '\n';
+  }
+  return out;
+}
+
+bool WriteCollapsedStacks(const TraceSink& sink, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string out = ExportCollapsedStacks(sink);
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace psj::trace

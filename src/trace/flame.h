@@ -1,0 +1,28 @@
+#ifndef PSJ_TRACE_FLAME_H_
+#define PSJ_TRACE_FLAME_H_
+
+#include <string>
+
+#include "trace/trace_sink.h"
+
+namespace psj::trace {
+
+/// \brief Exports a recorded trace in the collapsed-stack ("folded")
+/// flamegraph format: one line per distinct stack,
+/// `track;frame;frame <self-time-us>`, consumable by flamegraph.pl and
+/// speedscope.
+///
+/// Stacks are reconstructed per track from span nesting (a span is a child
+/// of the innermost span enclosing it); a frame's value is its self time —
+/// duration minus the duration of its children. Instants and zero-duration
+/// spans carry no time and are skipped. Lines are sorted lexicographically,
+/// so the output is a canonical, deterministic function of the trace.
+std::string ExportCollapsedStacks(const TraceSink& sink);
+
+/// Writes ExportCollapsedStacks(sink) to `path`. Returns false on I/O
+/// failure.
+bool WriteCollapsedStacks(const TraceSink& sink, const std::string& path);
+
+}  // namespace psj::trace
+
+#endif  // PSJ_TRACE_FLAME_H_

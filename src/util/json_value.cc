@@ -1,0 +1,295 @@
+#include "util/json_value.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace psj {
+namespace {
+
+/// Recursive-descent parser over a string_view cursor. Depth-limited so a
+/// corrupt golden file cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    auto value = ParseValue(0);
+    if (!value.ok()) {
+      return value.status();
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::Corruption(
+        StringPrintf("json: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(depth);
+    }
+    if (c == '[') {
+      return ParseArray(depth);
+    }
+    if (c == '"') {
+      auto text = ParseString();
+      if (!text.ok()) {
+        return text.status();
+      }
+      return JsonValue::String(std::move(text).value());
+    }
+    if (ConsumeLiteral("true")) {
+      return JsonValue::Bool(true);
+    }
+    if (ConsumeLiteral("false")) {
+      return JsonValue::Bool(false);
+    }
+    if (ConsumeLiteral("null")) {
+      return JsonValue::Null();
+    }
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    PSJ_CHECK(Consume('{'));
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return JsonValue::Object(std::move(members));
+    }
+    while (true) {
+      SkipWhitespace();
+      auto key = ParseString();
+      if (!key.ok()) {
+        return key.status();
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' in object");
+      }
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) {
+        return value.status();
+      }
+      members.emplace_back(std::move(key).value(), std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return JsonValue::Object(std::move(members));
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    PSJ_CHECK(Consume('['));
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return JsonValue::Array(std::move(items));
+    }
+    while (true) {
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) {
+        return value.status();
+      }
+      items.push_back(std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return JsonValue::Array(std::move(items));
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Consume('"')) {
+      return Error("expected string");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        default:
+          return Error("unsupported escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("malformed number");
+    }
+    return JsonValue::Number(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::AsBool() const {
+  PSJ_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  PSJ_CHECK(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  PSJ_CHECK(is_string());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  PSJ_CHECK(is_array());
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::AsObject()
+    const {
+  PSJ_CHECK(is_object());
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : object_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+StatusOr<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue out;
+  out.type_ = Type::kBool;
+  out.bool_ = value;
+  return out;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue out;
+  out.type_ = Type::kNumber;
+  out.number_ = value;
+  return out;
+}
+
+JsonValue JsonValue::String(std::string value) {
+  JsonValue out;
+  out.type_ = Type::kString;
+  out.string_ = std::move(value);
+  return out;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.type_ = Type::kArray;
+  out.array_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::Object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue out;
+  out.type_ = Type::kObject;
+  out.object_ = std::move(members);
+  return out;
+}
+
+}  // namespace psj

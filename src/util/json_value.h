@@ -1,0 +1,68 @@
+#ifndef PSJ_UTIL_JSON_VALUE_H_
+#define PSJ_UTIL_JSON_VALUE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace psj {
+
+/// \brief Parsed JSON document node — the read half of the JSON layer
+/// (JsonWriter is the write half). Used by the golden-baseline diff engine
+/// to load committed `golden/*.json` figure snapshots.
+///
+/// Objects preserve member order (the writer emits deterministically, so
+/// order is meaningful for byte-level comparisons) and are looked up
+/// linearly; documents here are small experiment summaries, not bulk data.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors; PSJ_CHECK on type mismatch (callers validate first).
+  bool AsBool() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const;
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Parses one JSON document (trailing whitespace allowed, nothing else).
+  static StatusOr<JsonValue> Parse(std::string_view text);
+
+  // Construction (parser internals and tests).
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue String(std::string value);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_UTIL_JSON_VALUE_H_

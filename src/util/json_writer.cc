@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 
 namespace psj {
 
@@ -75,6 +76,19 @@ void JsonWriter::Double(double value) {
   BeginValue();
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+}
+
+void JsonWriter::DoublePrecise(double value) {
+  BeginValue();
+  char buf[64];
+  // Prefer the shortest representation that round-trips exactly.
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
   out_ += buf;
 }
 

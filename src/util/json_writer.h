@@ -24,6 +24,10 @@ class JsonWriter {
   void Key(std::string_view key);
   void String(std::string_view value);
   void Double(double value);
+  /// Shortest-round-trip formatting (%.17g fallback): parsing the emitted
+  /// token yields the original double bit for bit. The figure documents use
+  /// this so golden-file comparisons see the exact measured values.
+  void DoublePrecise(double value);
   void Int(int64_t value);
   void Bool(bool value);
 

@@ -14,6 +14,7 @@
 #include "core/experiment.h"
 #include "join/sequential_join.h"
 #include "trace/chrome_trace.h"
+#include "trace/flame.h"
 #include "trace/timeline.h"
 #include "trace/trace_sink.h"
 
@@ -526,6 +527,62 @@ TEST(TimelineTest, FormatMentionsEveryProcessor) {
     EXPECT_NE(text.find("cpu " + std::to_string(cpu)), std::string::npos);
   }
   EXPECT_NE(text.find("busy"), std::string::npos);
+}
+
+
+// ---------------------------------------------------------------------------
+// Collapsed-stack (folded) flamegraph export.
+// ---------------------------------------------------------------------------
+
+TEST(FlameTest, NestedSpansGetSelfTime) {
+  trace::TraceSink sink;
+  sink.SetTrackName(0, "cpu 0");
+  sink.Span(0, trace::Category::kTask, "task", 0, 100);
+  sink.Span(0, trace::Category::kBufferMiss, "disk read", 10, 30);
+  sink.Span(0, trace::Category::kRefinement, "refinement", 40, 45);
+  const std::string folded = trace::ExportCollapsedStacks(sink);
+  EXPECT_EQ(folded,
+            "cpu 0;task 75\n"
+            "cpu 0;task;disk read 20\n"
+            "cpu 0;task;refinement 5\n");
+}
+
+TEST(FlameTest, InstantsAndZeroDurationSpansAreSkipped) {
+  trace::TraceSink sink;
+  sink.Instant(0, trace::Category::kSteal, "steal", 10);
+  sink.Span(0, trace::Category::kTask, "task", 20, 20);
+  EXPECT_EQ(trace::ExportCollapsedStacks(sink), "");
+}
+
+TEST(FlameTest, SequentialSpansDoNotNest) {
+  trace::TraceSink sink;
+  sink.SetTrackName(1, "cpu 1");
+  sink.Span(1, trace::Category::kTask, "task", 0, 10);
+  sink.Span(1, trace::Category::kTask, "task", 10, 25);
+  const std::string folded = trace::ExportCollapsedStacks(sink);
+  // Same stack, aggregated; lines are sorted lexicographically.
+  EXPECT_EQ(folded, "cpu 1;task 25\n");
+}
+
+TEST(FlameTest, ExportIsDeterministicOnRealRun) {
+  trace::TraceSink sink;
+  const JoinResult result = RunTraced(&sink);
+  (void)result;
+  const std::string first = trace::ExportCollapsedStacks(sink);
+  const std::string second = trace::ExportCollapsedStacks(sink);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // Every line is "stack value" with a positive integer value.
+  size_t begin = 0;
+  while (begin < first.size()) {
+    const size_t end = first.find('\n', begin);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = first.substr(begin, end - begin);
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::atoll(line.c_str() + space + 1), 0) << line;
+    begin = end + 1;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "util/json_value.h"
+#include "util/json_writer.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -176,6 +178,71 @@ TEST(StringUtilTest, FormatMicrosAsSeconds) {
   EXPECT_EQ(FormatMicrosAsSeconds(62'800'000), "62.8");
   EXPECT_EQ(FormatMicrosAsSeconds(1'500'000, 2), "1.50");
   EXPECT_EQ(FormatMicrosAsSeconds(0), "0.0");
+}
+
+
+// ---------------------------------------------------------------------------
+// JsonValue parser (the read half of the JSON layer).
+// ---------------------------------------------------------------------------
+
+TEST(JsonValueTest, ParsesScalarsAndStructure) {
+  auto parsed = JsonValue::Parse(
+      R"({"name": "fig5", "scale": 0.05, "ok": true, "none": null,)"
+      R"( "points": [1, -2.5, 3e2]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = *parsed;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("name")->AsString(), "fig5");
+  EXPECT_EQ(doc.Find("scale")->AsDouble(), 0.05);
+  EXPECT_TRUE(doc.Find("ok")->AsBool());
+  EXPECT_TRUE(doc.Find("none")->is_null());
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  const auto& points = doc.Find("points")->AsArray();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[1].AsDouble(), -2.5);
+  EXPECT_EQ(points[2].AsDouble(), 300.0);
+}
+
+TEST(JsonValueTest, ObjectOrderIsPreserved) {
+  auto parsed = JsonValue::Parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(parsed.ok());
+  const auto& members = parsed->AsObject();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonValueTest, StringEscapes) {
+  auto parsed = JsonValue::Parse(R"(["a\"b", "tab\there", "back\\slash"])");
+  ASSERT_TRUE(parsed.ok());
+  const auto& items = parsed->AsArray();
+  EXPECT_EQ(items[0].AsString(), "a\"b");
+  EXPECT_EQ(items[1].AsString(), "tab\there");
+  EXPECT_EQ(items[2].AsString(), "back\\slash");
+}
+
+TEST(JsonValueTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());          // Trailing content.
+  EXPECT_FALSE(JsonValue::Parse("\"\\u0041\"").ok());  // \u unsupported.
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());           // Depth limit.
+}
+
+TEST(JsonWriterTest, DoublePreciseRoundTripsThroughText) {
+  for (const double value :
+       {0.1, 1.0 / 3.0, 25'199'183.0, 71.20801733477789, -0.0625, 1e-300}) {
+    JsonWriter out;
+    out.DoublePrecise(value);
+    auto parsed = JsonValue::Parse(out.str());
+    ASSERT_TRUE(parsed.ok()) << out.str();
+    EXPECT_EQ(parsed->AsDouble(), value) << out.str();
+  }
 }
 
 }  // namespace

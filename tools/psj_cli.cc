@@ -6,6 +6,7 @@
 //   join       run a parallel spatial join over a persisted dataset
 //   window     run a parallel window query over one map
 //   knn        run a k-nearest-neighbor query over one map
+//   report     reproduce the paper's figures/tables, diff against goldens
 //
 // Datasets are addressed by a path prefix: generate writes
 //   <prefix>_store_{r,s}.bin  and  <prefix>_tree_{r,s}.pf
@@ -16,11 +17,15 @@
 //   psj_cli join     --prefix=/tmp/ca --variant=gd --processors=8
 //   psj_cli window   --prefix=/tmp/ca --rect=0.2,0.2,0.6,0.6
 //   psj_cli knn      --prefix=/tmp/ca --point=0.5,0.5 --k=10
+//   psj_cli report   --check --scale=0.05
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -30,8 +35,13 @@
 #include "core/parallel_window_query.h"
 #include "data/generator.h"
 #include "data/map_builder.h"
+#include "report/figure_registry.h"
+#include "report/golden_diff.h"
+#include "report/markdown_report.h"
+#include "report/speedup_profiler.h"
 #include "storage/page_file.h"
 #include "trace/chrome_trace.h"
+#include "trace/flame.h"
 #include "trace/timeline.h"
 #include "trace/trace_sink.h"
 #include "util/json_writer.h"
@@ -338,7 +348,11 @@ int CmdJoin(int argc, char** argv) {
                         as_json);
   }
   trace::TraceSink sink;
-  if (!trace_path.empty() || want_timeline) {
+  // --json always records a trace: the buffer counters ride on the stats,
+  // but the latency histograms (task_duration_us, disk_queue_wait_us) are
+  // collected by the instrumentation sites. Tracing does not perturb
+  // virtual time, so the results are unchanged.
+  if (!trace_path.empty() || want_timeline || as_json) {
     config.trace = &sink;
   }
   check::AccessRegistry registry;
@@ -352,7 +366,17 @@ int CmdJoin(int argc, char** argv) {
   }
   if (as_json) {
     JsonWriter out;
+    out.BeginObject();
+    out.Key("stats");
     result->stats.WriteJson(out);
+    out.Key("histograms");
+    out.BeginObject();
+    for (const std::string& name : sink.histogram_names()) {
+      out.Key(name);
+      trace::WriteHistogramJson(out, *sink.FindHistogram(name));
+    }
+    out.EndObject();
+    out.EndObject();
     std::printf("%s\n", out.str().c_str());
   } else {
     std::printf("%s", result->stats.Summary().c_str());
@@ -378,6 +402,218 @@ int CmdJoin(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+double DoubleFlag(int argc, char** argv, const char* key, double fallback) {
+  const char* value = FlagValue(argc, argv, key);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+std::optional<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+std::string GoldenPath(const std::string& golden_dir,
+                       const std::string& figure) {
+  return golden_dir + "/" + figure + ".json";
+}
+
+// The profiled configuration: the paper's center point (n = d = 8,
+// reassignment on all levels) for each buffer/assignment variant.
+std::vector<std::pair<std::string, ParallelJoinConfig>> ProfileConfigs() {
+  std::vector<std::pair<std::string, ParallelJoinConfig>> configs;
+  for (const char* variant : {"lsr", "gsrr", "gd"}) {
+    ParallelJoinConfig config = std::strcmp(variant, "lsr") == 0
+                                    ? ParallelJoinConfig::Lsr()
+                                    : (std::strcmp(variant, "gsrr") == 0
+                                           ? ParallelJoinConfig::Gsrr()
+                                           : ParallelJoinConfig::Gd());
+    config.reassignment = ReassignmentLevel::kAllLevels;
+    config.num_processors = 8;
+    config.num_disks = 8;
+    configs.emplace_back(StringPrintf("%s n=8 d=8 reassign=all", variant),
+                         config);
+  }
+  return configs;
+}
+
+// `report` reproduces the paper's figures/tables through the shared
+// experiment registry, optionally diffing against the committed golden
+// baselines and emitting the combined Markdown report plus trace
+// artifacts. Exit code 1 = golden drift (or I/O failure), 2 = bad flags.
+int CmdReport(int argc, char** argv) {
+  const double scale = DoubleFlag(argc, argv, "scale", 0.05);
+  const std::string figures_flag = StringFlag(argc, argv, "figures", "");
+  const std::string out_dir = StringFlag(argc, argv, "out-dir", "");
+  const std::string golden_dir = StringFlag(argc, argv, "golden-dir",
+                                            "golden");
+  const std::string cache_dir = StringFlag(argc, argv, "cache-dir", "/tmp");
+  const bool check = BoolFlag(argc, argv, "check");
+  const bool update_goldens = BoolFlag(argc, argv, "update-goldens");
+  const int jobs = IntFlag(argc, argv, "jobs", 0);
+  if (scale <= 0.0) {
+    std::fprintf(stderr, "error: --scale must be positive\n");
+    return 2;
+  }
+  if (check && update_goldens) {
+    std::fprintf(stderr,
+                 "error: --check and --update-goldens are exclusive\n");
+    return 2;
+  }
+
+  std::vector<const report::FigureSpec*> specs;
+  if (figures_flag.empty()) {
+    for (const report::FigureSpec& spec : report::FigureRegistry()) {
+      specs.push_back(&spec);
+    }
+  } else {
+    for (const std::string& name : SplitString(figures_flag, ',')) {
+      const report::FigureSpec* spec = report::FindFigureSpec(name);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "error: unknown figure '%s'\n", name.c_str());
+        return 2;
+      }
+      specs.push_back(spec);
+    }
+  }
+
+  PaperWorkloadSpec workload_spec;
+  if (scale != 1.0) {
+    workload_spec = workload_spec.Scaled(scale);
+  }
+  std::fprintf(stderr, "[report] preparing workload (scale %g)...\n", scale);
+  std::filesystem::create_directories(cache_dir);  // Cache is best-effort.
+  auto workload = PaperWorkload::LoadOrBuildCached(workload_spec, cache_dir);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+
+  report::RunOptions options;
+  options.scale = scale;
+  options.num_threads = jobs;
+  const report::TolerancePolicy policy = report::TolerancePolicy::Exact();
+
+  int exit_code = 0;
+  std::vector<report::FigureReportEntry> entries;
+  for (const report::FigureSpec* spec : specs) {
+    std::fprintf(stderr, "[report] running %s (%s)...\n", spec->name,
+                 spec->title);
+    report::FigureReportEntry entry;
+    entry.doc = report::RunFigure(*spec, **workload, options);
+    entry.expectation = spec->expectation;
+    if (update_goldens) {
+      std::filesystem::create_directories(golden_dir);
+      const std::string path = GoldenPath(golden_dir, spec->name);
+      if (!WriteStringToFile(path, entry.doc.ToJson() + "\n")) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "[report] wrote %s\n", path.c_str());
+    }
+    if (check) {
+      const std::string path = GoldenPath(golden_dir, spec->name);
+      const auto text = ReadFileToString(path);
+      if (!text.has_value()) {
+        std::fprintf(stderr,
+                     "error: missing golden %s (run 'psj_cli report "
+                     "--update-goldens --scale=%g' to create it)\n",
+                     path.c_str(), scale);
+        return 1;
+      }
+      auto golden = report::FigureDoc::FromJsonText(*text);
+      if (!golden.ok()) {
+        std::fprintf(stderr, "error: corrupt golden %s: %s\n", path.c_str(),
+                     golden.status().ToString().c_str());
+        return 1;
+      }
+      report::DriftReport drift =
+          report::DiffAgainstGolden(*golden, entry.doc, policy);
+      std::printf("%s", drift.Format().c_str());
+      if (!drift.ok()) {
+        exit_code = 1;
+      }
+      entry.drift.push_back(std::move(drift));
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  // Speedup profiles: one traced run per variant, decomposed into the
+  // eight where-did-the-time-go terms. The gd trace doubles as the
+  // exported artifact.
+  std::vector<report::SpeedupDecomposition> profiles;
+  trace::TraceSink artifact_sink;
+  for (auto& [label, config] : ProfileConfigs()) {
+    std::fprintf(stderr, "[report] profiling %s...\n", label.c_str());
+    trace::TraceSink sink;
+    config.trace = &sink;
+    auto result = (*workload)->RunJoin(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: profile run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    profiles.push_back(
+        report::DecomposeSpeedup(sink, result->stats, label));
+    if (label.compare(0, 2, "gd") == 0) {
+      // Move the gd events into the artifact sink for export.
+      for (const trace::TraceEvent& event : sink.events()) {
+        artifact_sink.Span(event.track, event.category, event.name,
+                           event.start, event.end, event.arg0, event.arg1);
+      }
+      for (const int32_t track : sink.Tracks()) {
+        artifact_sink.SetTrackName(track, sink.TrackName(track));
+      }
+    }
+  }
+
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    for (const report::FigureReportEntry& entry : entries) {
+      const std::string path = out_dir + "/" + entry.doc.figure + ".json";
+      if (!WriteStringToFile(path, entry.doc.ToJson() + "\n")) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return 1;
+      }
+    }
+    const std::string markdown =
+        report::RenderMarkdownReport(entries, profiles);
+    if (!WriteStringToFile(out_dir + "/report.md", markdown) ||
+        !trace::WriteChromeTrace(artifact_sink,
+                                 out_dir + "/join_gd_n8_trace.json") ||
+        !trace::WriteCollapsedStacks(artifact_sink,
+                                     out_dir + "/join_gd_n8.folded")) {
+      std::fprintf(stderr, "error: cannot write artifacts to %s\n",
+                   out_dir.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "[report] wrote %s/report.md, per-figure JSON, Chrome "
+                 "trace and collapsed stacks\n",
+                 out_dir.c_str());
+  } else if (!check && !update_goldens) {
+    for (const report::FigureReportEntry& entry : entries) {
+      std::printf("%s — %s\n%s\n", entry.doc.figure.c_str(),
+                  entry.doc.title.c_str(), entry.doc.FormatText().c_str());
+    }
+    for (const report::SpeedupDecomposition& profile : profiles) {
+      std::printf("%s\n", profile.Format().c_str());
+    }
+  }
+  return exit_code;
 }
 
 int CmdWindow(int argc, char** argv) {
@@ -439,7 +675,7 @@ int CmdKnn(int argc, char** argv) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: psj_cli <generate|inspect|join|window|knn> [--flags]\n"
+      "usage: psj_cli <generate|inspect|join|window|knn|report> [--flags]\n"
       "  generate --prefix=P [--objects=N] [--seed=S]\n"
       "  inspect  --prefix=P\n"
       "  join     --prefix=P [--variant=lsr|gsrr|gd|sn] [--processors=N]\n"
@@ -450,7 +686,10 @@ int Usage() {
       "           [--trace=OUT.json] [--timeline] [--check]\n"
       "  window   --prefix=P --rect=xl,yl,xu,yu [--processors=N]\n"
       "           [--backend=default|thread|fiber]\n"
-      "  knn      --prefix=P --point=x,y [--k=N]\n");
+      "  knn      --prefix=P --point=x,y [--k=N]\n"
+      "  report   [--figures=fig5,...] [--scale=F] [--jobs=N]\n"
+      "           [--golden-dir=DIR] [--check | --update-goldens]\n"
+      "           [--out-dir=DIR] [--cache-dir=DIR]\n");
   return 2;
 }
 
@@ -465,6 +704,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return psj::CmdGenerate(argc, argv);
   if (command == "inspect") return psj::CmdInspect(argc, argv);
   if (command == "join") return psj::CmdJoin(argc, argv);
+  if (command == "report") return psj::CmdReport(argc, argv);
   if (command == "window") return psj::CmdWindow(argc, argv);
   if (command == "knn") return psj::CmdKnn(argc, argv);
   return psj::Usage();

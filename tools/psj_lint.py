@@ -20,13 +20,19 @@ leak into simulated results.
                        ("// psj-lint: global-ok(<reason>)").
   no-tracked-build     No tracked path may start with "build" (anchored;
                        bench/ablation_tree_build.cc is fine).
+  golden-schema        Committed golden/*.json baselines must be valid JSON
+                       carrying the versioned figure-schema tag
+                       ("schema": "psj-...") so the diff engine can refuse
+                       incompatible documents instead of misreading them.
 
 Usage: python3 tools/psj_lint.py [--root REPO] [FILES...]
 With FILES, only those files are checked (the CI changed-files mode);
-no-tracked-build always inspects the whole index. Exit 0 = clean.
+no-tracked-build and golden-schema always inspect the whole index.
+Exit 0 = clean.
 """
 
 import argparse
+import json
 import pathlib
 import re
 import subprocess
@@ -138,6 +144,24 @@ def lint_file(path, rel, errors):
             report("no-mutable-globals", code.split()[0])
 
 
+def lint_golden_schema(root, errors):
+    """Every committed golden baseline must be schema-versioned JSON."""
+    for path in sorted(root.glob("golden/*.json")):
+        rel = path.relative_to(root).as_posix()
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as err:
+            errors.append(f"{rel}: [golden-schema] unreadable JSON: {err}")
+            continue
+        schema = doc.get("schema") if isinstance(doc, dict) else None
+        if not isinstance(schema, str) or not schema.startswith("psj-"):
+            errors.append(
+                f"{rel}: [golden-schema] missing versioned schema tag "
+                f'("schema": "psj-..."); regenerate with '
+                "'psj_cli report --update-goldens'"
+            )
+
+
 def lint_tracked_build_trees(root, errors):
     proc = subprocess.run(
         ["git", "ls-files"],
@@ -171,6 +195,7 @@ def main(argv):
             continue
         rel = path.relative_to(root).as_posix()
         lint_file(path, rel, errors)
+    lint_golden_schema(root, errors)
     lint_tracked_build_trees(root, errors)
 
     if errors:
