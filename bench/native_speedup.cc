@@ -1,0 +1,88 @@
+// Native wall-clock speedup sweep: the real-thread R-tree join engine and
+// the grid-partition competitor (src/native) over the paper workload's
+// trees, at increasing thread counts, repeated and reported as min/median
+// wall milliseconds plus speedup t(1)/t(n).
+//
+// This is the one bench family measured in wall-clock rather than virtual
+// time, so its JSON document carries the separate "psj-native-fig-v1"
+// schema and is never golden-compared: the curves depend on the host (the
+// scalars record its core count). Every run is still verified against the
+// sequential join — the *results* are host-independent, only the timings
+// move.
+//
+//   --threads=1,2,4,8   thread counts to sweep (default 1,2,4,8)
+//   --repeats=5         wall-clock repeats per point (default 5)
+//   --grid=K            partition grid dimension (default: auto)
+//   --out=FILE.json     write the schema-versioned document
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "report/native_figure.h"
+#include "util/check.h"
+
+namespace {
+
+std::vector<int> ParseThreadList(const char* text) {
+  std::vector<int> threads;
+  for (const char* p = text; *p != '\0';) {
+    char* end = nullptr;
+    const long value = std::strtol(p, &end, 10);
+    PSJ_CHECK(end != p && value > 0) << "bad --threads list: " << text;
+    threads.push_back(static_cast<int>(value));
+    p = *end == ',' ? end + 1 : end;
+  }
+  PSJ_CHECK(!threads.empty()) << "empty --threads list";
+  return threads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  psj::report::NativeSweepOptions options;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      options.thread_counts = ParseThreadList(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--repeats=", 10) == 0) {
+      options.repeats = std::atoi(argv[i] + 10);
+      PSJ_CHECK_GT(options.repeats, 0);
+    } else if (std::strncmp(argv[i], "--grid=", 7) == 0) {
+      options.grid_dim = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads=1,2,4] [--repeats=N] [--grid=K] "
+                   "[--out=FILE.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  psj::bench::PrintHeader(
+      "Native wall-clock speedup: R-tree join vs. grid-partition join",
+      psj::report::kNativeSpeedupExpectation);
+  options.scale = psj::bench::BenchScale();
+  const psj::report::FigureDoc doc =
+      psj::report::RunNativeSpeedupFigure(psj::bench::GetWorkload(), options);
+  std::printf("%s", doc.FormatText().c_str());
+
+  const double* verified = doc.FindScalar("verified");
+  PSJ_CHECK(verified != nullptr && *verified == 1.0)
+      << "native engines diverged from the sequential join";
+
+  if (!out_path.empty()) {
+    psj::bench::JsonWriter writer;
+    doc.WriteJson(writer);
+    if (!writer.WriteFile(out_path)) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[bench] wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

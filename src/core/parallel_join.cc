@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "buffer/path_buffer.h"
+#include "core/task_builder.h"
 #include "core/task_pool.h"
 #include "core/workload.h"
 #include "join/node_match.h"
@@ -161,109 +162,34 @@ class JoinDriver {
 
   void CreateAndAssignTasks(sim::Process& p) {
     const sim::SimTime creation_start = p.now();
-    struct FrontierPair {
-      uint32_t page_r;
-      uint32_t page_s;
-      int level_r;
-      int level_s;
+    // The traversal itself (which nodes are read, which pairs are matched,
+    // in which order) is the engine-agnostic BuildJoinTasks; the hooks
+    // charge this engine's virtual-time costs at the same points the
+    // inlined implementation did, so results are bit-identical.
+    JoinTaskHooks hooks;
+    hooks.fetch_node = [this, &p](const RStarTree& tree, uint32_t page,
+                                  int level) {
+      FetchNode(p, tree, page, level);
     };
-    std::deque<FrontierPair> frontier;
-    frontier.push_back(FrontierPair{tree_r_.root_page(), tree_s_.root_page(),
-                                    tree_r_.height() - 1,
-                                    tree_s_.height() - 1});
-
-    // Expands the deeper side of one pair, keeping plane-sweep order.
-    const auto expand_one_side = [&](const FrontierPair& pair,
-                                     std::deque<FrontierPair>* out) {
-      const bool expand_r = pair.level_r > pair.level_s;
-      const RStarTree& tree = expand_r ? tree_r_ : tree_s_;
-      const uint32_t page = expand_r ? pair.page_r : pair.page_s;
-      const int level = expand_r ? pair.level_r : pair.level_s;
-      const RTreeNode& node = FetchNode(p, tree, page, level);
-      const RTreeNode& other =
-          FetchNode(p, expand_r ? tree_s_ : tree_r_,
-                    expand_r ? pair.page_s : pair.page_r,
-                    expand_r ? pair.level_s : pair.level_r);
-      const Rect other_mbr = other.ComputeMbr();
-      std::vector<RTreeEntry> entries = node.entries;
-      std::sort(entries.begin(), entries.end(),
-                [](const RTreeEntry& a, const RTreeEntry& b) {
-                  if (a.rect.xl != b.rect.xl) return a.rect.xl < b.rect.xl;
-                  return a.id < b.id;
-                });
-      for (const RTreeEntry& entry : entries) {
-        p.Advance(config_.costs.cpu_per_pair_tested);
-        if (!entry.rect.Intersects(other_mbr)) continue;
-        if (expand_r) {
-          out->push_back(FrontierPair{entry.child_page(), pair.page_s,
-                                      level - 1, pair.level_s});
-        } else {
-          out->push_back(FrontierPair{pair.page_r, entry.child_page(),
-                                      pair.level_r, level - 1});
-        }
-      }
+    hooks.charge_alignment_test = [this, &p] {
+      p.Advance(config_.costs.cpu_per_pair_tested);
     };
-
-    // First align the levels of the two trees.
-    for (;;) {
-      const bool any_unequal =
-          std::any_of(frontier.begin(), frontier.end(),
-                      [](const FrontierPair& fp) {
-                        return fp.level_r != fp.level_s;
-                      });
-      if (!any_unequal) break;
-      std::deque<FrontierPair> next;
-      for (const FrontierPair& fp : frontier) {
-        if (fp.level_r == fp.level_s) {
-          next.push_back(fp);
-        } else {
-          expand_one_side(fp, &next);
-        }
-      }
-      frontier = std::move(next);
-    }
-
-    // Then descend while the task count m is not sufficiently larger than
-    // the processor count (§3.1: "if this condition is not fulfilled, the
-    // next lower level will be considered").
-    const auto needed = static_cast<size_t>(
-        config_.task_creation_factor *
-        static_cast<double>(config_.num_processors));
-    while (!frontier.empty() && frontier.front().level_r > 0 &&
-           frontier.size() < needed) {
-      std::deque<FrontierPair> next;
-      for (const FrontierPair& fp : frontier) {
-        const RTreeNode& nr = FetchNode(p, tree_r_, fp.page_r, fp.level_r);
-        const RTreeNode& ns = FetchNode(p, tree_s_, fp.page_s, fp.level_s);
-        NodeMatchCounts counts;
-        const auto matches =
-            MatchNodeEntries(nr, ns, match_options_, &counts, &match_scratch_);
-        p.Advance(static_cast<sim::SimTime>(counts.entries_considered_r +
-                                            counts.entries_considered_s) *
-                      config_.costs.cpu_per_entry_sorted +
-                  static_cast<sim::SimTime>(counts.pairs_tested) *
-                      config_.costs.cpu_per_pair_tested);
-        for (const auto& [i, j] : matches) {
-          next.push_back(FrontierPair{nr.entries[i].child_page(),
-                                      ns.entries[j].child_page(),
-                                      fp.level_r - 1, fp.level_s - 1});
-        }
-      }
-      frontier = std::move(next);
-    }
-
-    std::vector<NodePair> tasks;
-    tasks.reserve(frontier.size());
-    for (const FrontierPair& fp : frontier) {
-      tasks.push_back(NodePair{fp.page_r, fp.page_s,
-                               static_cast<int16_t>(fp.level_r)});
-    }
-    p.Advance(static_cast<sim::SimTime>(tasks.size()) *
+    hooks.charge_match = [this, &p](const NodeMatchCounts& counts) {
+      p.Advance(static_cast<sim::SimTime>(counts.entries_considered_r +
+                                          counts.entries_considered_s) *
+                    config_.costs.cpu_per_entry_sorted +
+                static_cast<sim::SimTime>(counts.pairs_tested) *
+                    config_.costs.cpu_per_pair_tested);
+    };
+    JoinTaskSet tasks = BuildJoinTasks(
+        tree_r_, tree_s_, config_.num_processors,
+        config_.task_creation_factor, match_options_, hooks, &match_scratch_);
+    p.Advance(static_cast<sim::SimTime>(tasks.tasks.size()) *
               config_.costs.task_creation_per_pair);
-    num_tasks_ = static_cast<int64_t>(tasks.size());
-    task_level_ = tasks.empty() ? 0 : tasks.front().level;
+    num_tasks_ = static_cast<int64_t>(tasks.tasks.size());
+    task_level_ = tasks.task_level;
 
-    pool_.Assign(config_.assignment, tasks, task_level_);
+    pool_.Assign(config_.assignment, tasks.tasks, task_level_);
     task_creation_time_ = p.now();
     if (trace_ != nullptr) {
       trace_->Span(p.id(), trace::Category::kTaskCreation, "task creation",

@@ -1,0 +1,209 @@
+#include "native/partition_join.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "geo/rect_batch.h"
+#include "util/check.h"
+
+namespace psj::native {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The uniform grid: tile index per axis is floor((coord - origin) * inv),
+/// clamped to [0, dim). Every coordinate lookup — assignment ranges and the
+/// reference-point owner test — goes through the same function, so the two
+/// can never disagree.
+struct Grid {
+  int dim = 1;
+  double origin_x = 0.0;
+  double origin_y = 0.0;
+  double inv_x = 0.0;  // dim / universe width (0 for a degenerate axis).
+  double inv_y = 0.0;
+
+  Grid(int dim_in, const Rect& universe) : dim(dim_in) {
+    origin_x = universe.xl;
+    origin_y = universe.yl;
+    if (universe.Width() > 0.0) inv_x = dim / universe.Width();
+    if (universe.Height() > 0.0) inv_y = dim / universe.Height();
+  }
+
+  int TileX(double x) const {
+    const int t = static_cast<int>(std::floor((x - origin_x) * inv_x));
+    return std::clamp(t, 0, dim - 1);
+  }
+  int TileY(double y) const {
+    const int t = static_cast<int>(std::floor((y - origin_y) * inv_y));
+    return std::clamp(t, 0, dim - 1);
+  }
+  size_t TileIndex(int tx, int ty) const {
+    return static_cast<size_t>(ty) * static_cast<size_t>(dim) +
+           static_cast<size_t>(tx);
+  }
+};
+
+/// Replicates every entry into each tile its MBR overlaps.
+std::vector<std::vector<RTreeEntry>> PartitionEntries(
+    const std::vector<RTreeEntry>& entries, const Grid& grid) {
+  std::vector<std::vector<RTreeEntry>> tiles(
+      static_cast<size_t>(grid.dim) * static_cast<size_t>(grid.dim));
+  for (const RTreeEntry& entry : entries) {
+    const int tx0 = grid.TileX(entry.rect.xl);
+    const int tx1 = grid.TileX(entry.rect.xu);
+    const int ty0 = grid.TileY(entry.rect.yl);
+    const int ty1 = grid.TileY(entry.rect.yu);
+    for (int ty = ty0; ty <= ty1; ++ty) {
+      for (int tx = tx0; tx <= tx1; ++tx) {
+        tiles[grid.TileIndex(tx, ty)].push_back(entry);
+      }
+    }
+  }
+  return tiles;
+}
+
+int PickGridDim(const PartitionJoinConfig& config, size_t total_entries) {
+  if (config.grid_dim > 0) {
+    return config.grid_dim;
+  }
+  // ~512 rectangles per tile, and at least 4 tiles per thread so the atomic
+  // cursor can balance skew.
+  const double by_size = std::sqrt(static_cast<double>(total_entries) / 512.0);
+  const double by_threads = std::sqrt(4.0 * config.num_threads);
+  const int dim =
+      static_cast<int>(std::ceil(std::max({by_size, by_threads, 1.0})));
+  return std::min(dim, 256);
+}
+
+struct TileWorkerState {
+  std::vector<std::pair<uint64_t, uint64_t>> candidates;
+  SweepScratch scratch;
+  NativeWorkerStats stats;
+};
+
+}  // namespace
+
+std::vector<RTreeEntry> CollectLeafEntries(const RStarTree& tree) {
+  std::vector<RTreeEntry> entries;
+  entries.reserve(static_cast<size_t>(tree.num_data_entries()));
+  // Page 0 is the metadata page; data pages are level 0.
+  for (uint32_t page = 1; page < tree.num_pages(); ++page) {
+    if (tree.IsFreePage(page)) {
+      continue;
+    }
+    const RTreeNode& node = tree.node(page);
+    if (!node.is_leaf()) {
+      continue;
+    }
+    entries.insert(entries.end(), node.entries.begin(), node.entries.end());
+  }
+  return entries;
+}
+
+NativeJoinResult PartitionSweepJoin(const std::vector<RTreeEntry>& entries_r,
+                                    const std::vector<RTreeEntry>& entries_s,
+                                    const PartitionJoinConfig& config) {
+  PSJ_CHECK_GT(config.num_threads, 0);
+  const Clock::time_point start = Clock::now();
+  NativeJoinResult result;
+  result.per_worker.resize(static_cast<size_t>(config.num_threads));
+  if (entries_r.empty() || entries_s.empty()) {
+    result.wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    return result;
+  }
+
+  // The grid spans the union universe of both inputs, so every rectangle
+  // lands in at least one tile.
+  Rect universe = entries_r.front().rect;
+  for (const RTreeEntry& e : entries_r) universe.ExpandToInclude(e.rect);
+  for (const RTreeEntry& e : entries_s) universe.ExpandToInclude(e.rect);
+
+  const int dim = PickGridDim(config, entries_r.size() + entries_s.size());
+  const Grid grid(dim, universe);
+  const std::vector<std::vector<RTreeEntry>> tiles_r =
+      PartitionEntries(entries_r, grid);
+  const std::vector<std::vector<RTreeEntry>> tiles_s =
+      PartitionEntries(entries_s, grid);
+  const size_t num_tiles = tiles_r.size();
+  result.num_tasks = static_cast<int64_t>(num_tiles);
+  result.task_level = 0;
+
+  // One tile per task off an atomic cursor; workers are independent except
+  // for the cursor.
+  std::vector<TileWorkerState> workers(
+      static_cast<size_t>(config.num_threads));
+  std::atomic<size_t> next_tile{0};
+  auto worker_body = [&](int id) {
+    TileWorkerState& w = workers[static_cast<size_t>(id)];
+    for (;;) {
+      const size_t tile = next_tile.fetch_add(1, std::memory_order_relaxed);
+      if (tile >= num_tiles) {
+        return;
+      }
+      const std::vector<RTreeEntry>& tr = tiles_r[tile];
+      const std::vector<RTreeEntry>& ts = tiles_s[tile];
+      ++w.stats.tasks_executed;
+      if (tr.empty() || ts.empty()) {
+        continue;
+      }
+      const int ty = static_cast<int>(tile) / dim;
+      const int tx = static_cast<int>(tile) % dim;
+      w.scratch.raw_r.AssignProjected(
+          tr, [](const RTreeEntry& e) -> const Rect& { return e.rect; });
+      w.scratch.raw_s.AssignProjected(
+          ts, [](const RTreeEntry& e) -> const Rect& { return e.rect; });
+      BatchSweepJoin(w.scratch, /*clip=*/nullptr, [&](size_t i, size_t j) {
+        // Reference-point duplicate avoidance: report the pair only in the
+        // tile owning the bottom-left corner of the MBR intersection. The
+        // owner tile goes through the same TileX/TileY as assignment, and
+        // floor is monotone, so the owner is always among the pair's common
+        // tiles.
+        const Rect& r = tr[i].rect;
+        const Rect& s = ts[j].rect;
+        if (grid.TileX(std::max(r.xl, s.xl)) != tx ||
+            grid.TileY(std::max(r.yl, s.yl)) != ty) {
+          return;
+        }
+        w.candidates.emplace_back(tr[i].id, ts[j].id);
+      });
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(config.num_threads - 1));
+  for (int w = 1; w < config.num_threads; ++w) {
+    threads.emplace_back(worker_body, w);
+  }
+  worker_body(0);
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  size_t total = 0;
+  for (const TileWorkerState& w : workers) {
+    total += w.candidates.size();
+  }
+  result.candidates.reserve(total);
+  for (size_t w = 0; w < workers.size(); ++w) {
+    TileWorkerState& state = workers[w];
+    state.stats.candidates = static_cast<int64_t>(state.candidates.size());
+    result.candidates.insert(result.candidates.end(),
+                             state.candidates.begin(), state.candidates.end());
+    result.per_worker[w] = state.stats;
+  }
+  if (config.deterministic) {
+    // Each pair is emitted exactly once (reference point), so the sorted
+    // vector is bit-identical run to run and across thread counts.
+    SortPairs(&result.candidates);
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace psj::native

@@ -1,0 +1,177 @@
+#ifndef PSJ_NATIVE_WORK_POOL_H_
+#define PSJ_NATIVE_WORK_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/workload.h"
+#include "util/check.h"
+
+namespace psj::native {
+
+/// \brief Host-thread twin of the simulator's TaskPool: the shared work
+/// queue of the dynamic assignment plus one per-worker PerLevelWorkload
+/// (the engine-agnostic per-level deques of core/workload.h), with §3.4
+/// work stealing — an idle worker surveys the others' loads, picks the most
+/// loaded victim, and takes the back half of its highest non-empty level.
+///
+/// Synchronization replaces the simulator's virtual-time sync points with
+/// one mutex per worker plus one for the shared queue; a worker's own
+/// pop/push path contends only with a thief mid-steal. Termination is an
+/// atomic count of unfinished items (queued + executing): a parent's
+/// children are registered before the parent retires, so the count reaches
+/// zero exactly once, when the join is complete.
+template <typename Item>
+class WorkStealingPool {
+ public:
+  WorkStealingPool(int num_workers, int num_levels)
+      : num_workers_(num_workers) {
+    PSJ_CHECK_GT(num_workers, 0);
+    workers_.reserve(static_cast<size_t>(num_workers));
+    for (int i = 0; i < num_workers; ++i) {
+      workers_.push_back(std::make_unique<Worker>(num_levels));
+    }
+  }
+
+  int num_workers() const { return num_workers_; }
+
+  /// Static (contiguous-range) assignment, as the paper's lsr: the first
+  /// m mod n workers receive ceil(m/n) consecutive tasks in plane-sweep
+  /// order. Single-threaded setup — call before the workers start.
+  void AssignStatic(const std::vector<Item>& tasks) {
+    const size_t n = static_cast<size_t>(num_workers_);
+    const size_t m = tasks.size();
+    const size_t base = m / n;
+    const size_t extra = m % n;
+    size_t next = 0;
+    for (size_t w = 0; w < n; ++w) {
+      const size_t count = base + (w < extra ? 1 : 0);
+      for (size_t k = 0; k < count && next < m; ++k) {
+        workers_[w]->workload.PushOne(tasks[next++]);
+      }
+      workers_[w]->approx_size.store(workers_[w]->workload.size(),
+                                     std::memory_order_relaxed);
+    }
+    pending_.store(static_cast<int64_t>(m), std::memory_order_relaxed);
+  }
+
+  /// Dynamic assignment: all tasks enter the shared queue, workers pull
+  /// task by task (§3.3 gd). Single-threaded setup.
+  void AssignShared(const std::vector<Item>& tasks) {
+    shared_.assign(tasks.begin(), tasks.end());
+    pending_.store(static_cast<int64_t>(tasks.size()),
+                   std::memory_order_relaxed);
+  }
+
+  /// Next item for `worker`: own workload (lowest level first, preserving
+  /// plane-sweep order), then the shared queue. The caller must call
+  /// FinishItem() once the item — including registering its children — is
+  /// done.
+  std::optional<Item> Next(int worker) {
+    Worker& w = *workers_[static_cast<size_t>(worker)];
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      std::optional<Item> item = w.workload.PopNext();
+      if (item.has_value()) {
+        w.approx_size.store(w.workload.size(), std::memory_order_relaxed);
+        return item;
+      }
+    }
+    std::lock_guard<std::mutex> lock(shared_mu_);
+    if (shared_.empty()) {
+      return std::nullopt;
+    }
+    Item item = shared_.front();
+    shared_.pop_front();
+    return item;
+  }
+
+  /// Registers child work produced while executing an item. Must run
+  /// before FinishItem() for that item, so `pending` never dips to zero
+  /// while work is still being created.
+  void PushChildren(int worker, const std::vector<Item>& children) {
+    if (children.empty()) {
+      return;
+    }
+    pending_.fetch_add(static_cast<int64_t>(children.size()),
+                       std::memory_order_relaxed);
+    Worker& w = *workers_[static_cast<size_t>(worker)];
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.workload.Push(children);
+    w.approx_size.store(w.workload.size(), std::memory_order_relaxed);
+  }
+
+  /// Declares one previously obtained item complete.
+  void FinishItem() {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// True once every assigned item (and all its transitive children) has
+  /// been finished.
+  bool Done() const {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// One §3.4 reassignment attempt: survey the other workers' (approximate)
+  /// loads, lock the most loaded victim, take the back half of its highest
+  /// non-empty level into `worker`'s own workload. Returns the number of
+  /// items obtained (0 when no victim had stealable work).
+  size_t TrySteal(int worker) {
+    int victim = -1;
+    int64_t victim_size = 0;
+    for (int q = 0; q < num_workers_; ++q) {
+      if (q == worker) continue;
+      const int64_t size =
+          workers_[static_cast<size_t>(q)]->approx_size.load(
+              std::memory_order_relaxed);
+      if (size > victim_size) {
+        victim = q;
+        victim_size = size;
+      }
+    }
+    if (victim < 0) {
+      return 0;
+    }
+    std::vector<Item> stolen;
+    {
+      Worker& v = *workers_[static_cast<size_t>(victim)];
+      std::lock_guard<std::mutex> lock(v.mu);
+      stolen = v.workload.StealHalf(0);
+      v.approx_size.store(v.workload.size(), std::memory_order_relaxed);
+    }
+    if (stolen.empty()) {
+      return 0;
+    }
+    Worker& w = *workers_[static_cast<size_t>(worker)];
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.workload.Push(stolen);
+    w.approx_size.store(w.workload.size(), std::memory_order_relaxed);
+    return stolen.size();
+  }
+
+ private:
+  struct Worker {
+    explicit Worker(int num_levels) : workload(num_levels) {}
+    std::mutex mu;
+    PerLevelWorkload<Item> workload;  // Guarded by mu.
+    /// Load report for lock-free victim surveys; refreshed under mu after
+    /// every workload change. Staleness only mis-ranks victims, never
+    /// breaks correctness — StealHalf re-checks under the lock.
+    std::atomic<int64_t> approx_size{0};
+  };
+
+  const int num_workers_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex shared_mu_;
+  std::deque<Item> shared_;  // Guarded by shared_mu_.
+  std::atomic<int64_t> pending_{0};
+};
+
+}  // namespace psj::native
+
+#endif  // PSJ_NATIVE_WORK_POOL_H_

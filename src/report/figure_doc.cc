@@ -55,7 +55,7 @@ const double* FigureDoc::FindScalar(std::string_view name) const {
 void FigureDoc::WriteJson(JsonWriter& out) const {
   out.BeginObject();
   out.Key("schema");
-  out.String(kFigureSchema);
+  out.String(schema);
   out.Key("figure");
   out.String(figure);
   out.Key("title");
@@ -123,12 +123,12 @@ StatusOr<FigureDoc> FigureDoc::FromJsonText(std::string_view text) {
   if (!schema.ok()) {
     return schema.status();
   }
-  if (*schema != kFigureSchema) {
+  if (!schema->starts_with("psj-")) {
     return Status::Corruption("figure document: schema '" + *schema +
-                              "' is not '" + std::string(kFigureSchema) +
-                              "'");
+                              "' is not a psj document schema");
   }
   FigureDoc doc;
+  doc.schema = std::move(schema).value();
   for (auto* field : {&doc.figure, &doc.title, &doc.x_label, &doc.y_label}) {
     const char* key = field == &doc.figure    ? "figure"
                       : field == &doc.title   ? "title"

@@ -17,6 +17,13 @@ namespace psj::report {
 /// without a psj schema tag.
 inline constexpr std::string_view kFigureSchema = "psj-figure-v1";
 
+/// Schema tag of the native wall-clock speedup documents (report/
+/// native_figure.h). A separate family: wall-clock values are
+/// host-dependent, so these documents are never golden-compared — the tag
+/// keeps the diff engine from silently comparing them against virtual-time
+/// goldens.
+inline constexpr std::string_view kNativeFigureSchema = "psj-native-fig-v1";
+
 /// One (x, y) measurement of a series.
 struct FigurePoint {
   double x = 0.0;
@@ -39,6 +46,10 @@ struct FigureSeries {
 /// values plus metric series over a common x axis. The unit of golden
 /// comparison, JSON export, and report rendering.
 struct FigureDoc {
+  /// Document family tag; every psj document schema starts with "psj-".
+  /// FromJsonText accepts any such tag, and DiffAgainstGolden refuses to
+  /// compare documents from different families.
+  std::string schema = std::string(kFigureSchema);
   std::string figure;   // Registry key, e.g. "fig5".
   std::string title;    // Paper caption, e.g. "Figure 5: ...".
   std::string x_label;

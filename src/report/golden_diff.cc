@@ -9,6 +9,7 @@ namespace {
 
 std::string_view KindLabel(Drift::Kind kind) {
   switch (kind) {
+    case Drift::Kind::kSchemaMismatch: return "schema-mismatch";
     case Drift::Kind::kParamsChanged: return "params-changed";
     case Drift::Kind::kMissingSeries: return "missing-series";
     case Drift::Kind::kNewSeries: return "new-series";
@@ -91,6 +92,15 @@ DriftReport DiffAgainstGolden(const FigureDoc& golden,
                               const TolerancePolicy& policy) {
   DriftReport report;
   report.figure = current.figure.empty() ? golden.figure : current.figure;
+
+  // Documents from different families (e.g. a native wall-clock sweep vs a
+  // virtual-time figure) are incomparable: refuse outright rather than
+  // reporting every value as drifted.
+  if (golden.schema != current.schema) {
+    AddDrift(report, Drift::Kind::kSchemaMismatch,
+             "schema '" + golden.schema + "' vs '" + current.schema + "'");
+    return report;
+  }
 
   if (golden.figure != current.figure) {
     AddDrift(report, Drift::Kind::kParamsChanged,

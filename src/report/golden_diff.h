@@ -41,6 +41,7 @@ class TolerancePolicy {
 /// One divergence between a golden document and the current run.
 struct Drift {
   enum class Kind {
+    kSchemaMismatch,   // Different document families; nothing compared.
     kParamsChanged,    // scale / axis labels / tick labels differ.
     kMissingSeries,    // In the golden, absent from the current run.
     kNewSeries,        // In the current run, absent from the golden.

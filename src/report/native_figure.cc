@@ -1,0 +1,145 @@
+#include "report/native_figure.h"
+
+#include <algorithm>
+#include <string>
+
+#include "join/sequential_join.h"
+#include "native/native_join.h"
+#include "native/partition_join.h"
+#include "util/check.h"
+
+namespace psj::report {
+namespace {
+
+double MinOf(const std::vector<double>& values) {
+  return *std::min_element(values.begin(), values.end());
+}
+
+double MedianOf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+/// One engine's sweep: min/median wall ms per thread count plus the min-based
+/// speedup curve, appended as three series named `<engine> <metric>`.
+struct EngineCurves {
+  std::vector<double> wall_min_ms;  // Indexed like thread_counts.
+  std::vector<double> wall_median_ms;
+};
+
+void AppendEngineSeries(FigureDoc& doc, const std::string& engine,
+                        const std::vector<int>& thread_counts,
+                        const EngineCurves& curves) {
+  FigureSeries min_series{engine + " wall ms (min)", "wall_ms_min", {}};
+  FigureSeries median_series{engine + " wall ms (median)", "wall_ms_median",
+                             {}};
+  FigureSeries speedup{engine + " speedup", "speedup", {}};
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    const double x = thread_counts[i];
+    min_series.points.push_back({x, curves.wall_min_ms[i]});
+    median_series.points.push_back({x, curves.wall_median_ms[i]});
+    speedup.points.push_back(
+        {x, curves.wall_min_ms[0] / std::max(curves.wall_min_ms[i], 1e-9)});
+  }
+  doc.series.push_back(std::move(min_series));
+  doc.series.push_back(std::move(median_series));
+  doc.series.push_back(std::move(speedup));
+}
+
+}  // namespace
+
+FigureDoc RunNativeSpeedupFigure(const PaperWorkload& workload,
+                                 const NativeSweepOptions& options) {
+  PSJ_CHECK(!options.thread_counts.empty());
+  PSJ_CHECK_GT(options.repeats, 0);
+
+  // The engines' flat inputs. Both are pure functions of the trees, so the
+  // collection cost sits outside the timed region (as tree building does
+  // for the R-tree engine).
+  const std::vector<RTreeEntry> entries_r =
+      native::CollectLeafEntries(workload.tree_r());
+  const std::vector<RTreeEntry> entries_s =
+      native::CollectLeafEntries(workload.tree_s());
+
+  std::vector<std::pair<uint64_t, uint64_t>> reference;
+  if (options.verify) {
+    reference = SequentialRTreeJoin(workload.tree_r(), workload.tree_s())
+                    .candidates;
+  }
+
+  bool verified = true;
+  int64_t candidates = -1;
+  int64_t rtree_num_tasks = 0;
+  int64_t partition_num_tiles = 0;
+
+  auto note_run = [&](const native::NativeJoinResult& result) {
+    if (candidates < 0) {
+      candidates = static_cast<int64_t>(result.candidates.size());
+    }
+    // Every run of every engine must produce the same candidate set; with
+    // verify also the sequential join's.
+    if (result.candidates.size() != static_cast<size_t>(candidates)) {
+      verified = false;
+    } else if (options.verify &&
+               !native::PairSetsEqual(result.candidates, reference)) {
+      verified = false;
+    }
+  };
+
+  EngineCurves rtree_curves;
+  EngineCurves partition_curves;
+  for (const int threads : options.thread_counts) {
+    PSJ_CHECK_GT(threads, 0);
+    std::vector<double> rtree_ms;
+    std::vector<double> partition_ms;
+    for (int rep = 0; rep < options.repeats; ++rep) {
+      native::NativeJoinConfig config;
+      config.num_threads = threads;
+      native::NativeJoinResult rtree_result =
+          native::NativeRTreeJoin(workload.tree_r(), workload.tree_s(),
+                                  config);
+      rtree_ms.push_back(rtree_result.wall_ms);
+      rtree_num_tasks = rtree_result.num_tasks;
+      note_run(rtree_result);
+
+      native::PartitionJoinConfig partition_config;
+      partition_config.num_threads = threads;
+      partition_config.grid_dim = options.grid_dim;
+      native::NativeJoinResult partition_result =
+          native::PartitionSweepJoin(entries_r, entries_s, partition_config);
+      partition_ms.push_back(partition_result.wall_ms);
+      partition_num_tiles = partition_result.num_tasks;
+      note_run(partition_result);
+    }
+    rtree_curves.wall_min_ms.push_back(MinOf(rtree_ms));
+    rtree_curves.wall_median_ms.push_back(MedianOf(rtree_ms));
+    partition_curves.wall_min_ms.push_back(MinOf(partition_ms));
+    partition_curves.wall_median_ms.push_back(MedianOf(partition_ms));
+  }
+
+  FigureDoc doc;
+  doc.schema = std::string(kNativeFigureSchema);
+  doc.figure = "native";
+  doc.title =
+      "Native wall-clock speedup: R-tree join vs. grid-partition join";
+  doc.x_label = "threads";
+  doc.y_label = "speedup t(1)/t(n), wall-clock";
+  doc.scale = options.scale;
+  doc.scalars = {
+      {"host_hardware_concurrency",
+       static_cast<double>(native::HostHardwareConcurrency())},
+      {"repeats", static_cast<double>(options.repeats)},
+      {"candidates", static_cast<double>(std::max<int64_t>(candidates, 0))},
+      {"verified", verified ? 1.0 : 0.0},
+      {"rtree_num_tasks", static_cast<double>(rtree_num_tasks)},
+      {"partition_num_tiles", static_cast<double>(partition_num_tiles)},
+  };
+  AppendEngineSeries(doc, "rtree", options.thread_counts, rtree_curves);
+  AppendEngineSeries(doc, "partition", options.thread_counts,
+                     partition_curves);
+  return doc;
+}
+
+}  // namespace psj::report

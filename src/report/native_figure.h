@@ -1,0 +1,51 @@
+#ifndef PSJ_REPORT_NATIVE_FIGURE_H_
+#define PSJ_REPORT_NATIVE_FIGURE_H_
+
+#include <vector>
+
+#include "core/experiment.h"
+#include "report/figure_doc.h"
+
+namespace psj::report {
+
+/// Parameters of the native wall-clock speedup sweep.
+struct NativeSweepOptions {
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  /// Wall-clock repeats per (engine, thread count); the document reports
+  /// both the minimum (least-noise estimate, used for the speedup curves)
+  /// and the median.
+  int repeats = 5;
+  /// Workload scale the caller built the PaperWorkload at (recorded only).
+  double scale = 1.0;
+  /// Grid dimension of the partition competitor (0 = auto-sized).
+  int grid_dim = 0;
+  /// Check both engines' candidate sets against SequentialRTreeJoin (one
+  /// extra sequential run; the per-run sets are always cross-checked).
+  bool verify = true;
+};
+
+/// Qualitative shape the sweep should show on a multi-core host; printed by
+/// the harness header and the Markdown report.
+inline constexpr const char* kNativeSpeedupExpectation =
+    "wall-clock speedup grows with threads up to the core count for both "
+    "engines (near-linear for the R-tree engine on uniform data); flat "
+    "curves on a single-core host";
+
+/// \brief Runs both native engines — the R-tree join (NativeRTreeJoin) and
+/// the grid-partition competitor (PartitionSweepJoin) — over the workload's
+/// trees at every thread count, `repeats` times each, and collects the
+/// wall-clock milliseconds and derived speedup t(1)/t(n) into a
+/// kNativeFigureSchema document ("native-fig" family).
+///
+/// Unlike the virtual-time figures this document is host-dependent (core
+/// count, frequency scaling, load), so it is never golden-compared; the
+/// scalars record host_hardware_concurrency so a reader can judge the
+/// curves. `verified` is 1 when every run's candidate set matched the
+/// sequential join (and the engines each other), 0 otherwise.
+FigureDoc RunNativeSpeedupFigure(const PaperWorkload& workload,
+                                 const NativeSweepOptions& options =
+                                     NativeSweepOptions());
+
+}  // namespace psj::report
+
+#endif  // PSJ_REPORT_NATIVE_FIGURE_H_

@@ -81,6 +81,27 @@ TEST(FigureDocTest, RejectsForeignSchemaAndGarbage) {
   EXPECT_FALSE(FigureDoc::FromJsonText(wrong).ok());
 }
 
+TEST(FigureDocTest, RoundTripsNonDefaultPsjSchema) {
+  FigureDoc doc = SampleDoc();
+  doc.schema = std::string(report::kNativeFigureSchema);
+  const auto parsed = FigureDoc::FromJsonText(doc.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->schema, report::kNativeFigureSchema);
+  EXPECT_EQ(*parsed, doc);
+}
+
+TEST(GoldenDiffTest, RefusesCrossSchemaComparison) {
+  const FigureDoc golden = SampleDoc();
+  FigureDoc current = golden;
+  current.schema = std::string(report::kNativeFigureSchema);
+  const DriftReport report =
+      DiffAgainstGolden(golden, current, TolerancePolicy::Exact());
+  ASSERT_EQ(report.drifts.size(), 1u);
+  EXPECT_EQ(report.drifts[0].kind, Drift::Kind::kSchemaMismatch);
+  // Nothing is value-compared across families.
+  EXPECT_EQ(report.values_compared, 0);
+}
+
 TEST(GoldenDiffTest, IdenticalDocsAreClean) {
   const FigureDoc doc = SampleDoc();
   const DriftReport report =

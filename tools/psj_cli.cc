@@ -35,7 +35,11 @@
 #include "core/parallel_window_query.h"
 #include "data/generator.h"
 #include "data/map_builder.h"
+#include "join/sequential_join.h"
+#include "native/native_join.h"
+#include "native/partition_join.h"
 #include "report/figure_registry.h"
+#include "report/native_figure.h"
 #include "report/golden_diff.h"
 #include "report/markdown_report.h"
 #include "report/speedup_profiler.h"
@@ -317,10 +321,66 @@ int RunJoinSweep(const ParallelSpatialJoin& join,
   return 0;
 }
 
+// `join --engine=native|partition`: the real-thread engines of src/native,
+// measured in wall-clock over the dataset's in-memory trees. `--verify`
+// re-runs the sequential join and requires set-equal candidates.
+int RunNativeJoin(const Dataset& dataset, const std::string& engine,
+                  int argc, char** argv) {
+  const int threads = IntFlag(argc, argv, "threads", 1);
+  if (threads <= 0) {
+    std::fprintf(stderr, "error: --threads must be positive\n");
+    return 2;
+  }
+  const bool deterministic = BoolFlag(argc, argv, "deterministic");
+  native::NativeJoinResult result;
+  if (engine == "native") {
+    native::NativeJoinConfig config;
+    config.num_threads = threads;
+    config.deterministic = deterministic;
+    result = native::NativeRTreeJoin(dataset.tree_r, dataset.tree_s, config);
+  } else {
+    native::PartitionJoinConfig config;
+    config.num_threads = threads;
+    config.deterministic = deterministic;
+    config.grid_dim = IntFlag(argc, argv, "grid", 0);
+    result = native::PartitionSweepJoin(
+        native::CollectLeafEntries(dataset.tree_r),
+        native::CollectLeafEntries(dataset.tree_s), config);
+  }
+  std::printf("engine %s, %d thread(s) (host has %d)%s\n", engine.c_str(),
+              threads, native::HostHardwareConcurrency(),
+              deterministic ? ", deterministic" : "");
+  std::printf("%s", result.Summary().c_str());
+  if (BoolFlag(argc, argv, "verify")) {
+    const SequentialJoinResult reference =
+        SequentialRTreeJoin(dataset.tree_r, dataset.tree_s);
+    if (!native::PairSetsEqual(result.candidates, reference.candidates)) {
+      std::fprintf(stderr,
+                   "verify: FAILED — %zu candidates vs %zu sequential, "
+                   "sets differ\n",
+                   result.candidates.size(), reference.candidates.size());
+      return 1;
+    }
+    std::printf("verify: ok — candidate set equals the sequential join "
+                "(%zu pairs)\n",
+                reference.candidates.size());
+  }
+  return 0;
+}
+
 int CmdJoin(int argc, char** argv) {
   auto dataset = LoadDataset(StringFlag(argc, argv, "prefix", ""));
   if (!dataset.has_value()) {
     return 1;
+  }
+  const std::string engine = StringFlag(argc, argv, "engine", "sim");
+  if (engine == "native" || engine == "partition") {
+    return RunNativeJoin(*dataset, engine, argc, argv);
+  }
+  if (engine != "sim") {
+    std::fprintf(stderr, "error: unknown --engine=%s "
+                         "(sim|native|partition)\n", engine.c_str());
+    return 2;
   }
   bool ok = false;
   ParallelJoinConfig config = JoinConfigFromFlags(argc, argv, &ok);
@@ -462,6 +522,7 @@ int CmdReport(int argc, char** argv) {
   const std::string cache_dir = StringFlag(argc, argv, "cache-dir", "/tmp");
   const bool check = BoolFlag(argc, argv, "check");
   const bool update_goldens = BoolFlag(argc, argv, "update-goldens");
+  const bool with_native = BoolFlag(argc, argv, "native");
   const int jobs = IntFlag(argc, argv, "jobs", 0);
   if (scale <= 0.0) {
     std::fprintf(stderr, "error: --scale must be positive\n");
@@ -547,6 +608,31 @@ int CmdReport(int argc, char** argv) {
         exit_code = 1;
       }
       entry.drift.push_back(std::move(drift));
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  // The native wall-clock sweep renders beside the virtual-time figures but
+  // is never golden-compared: its numbers are host-dependent (the document
+  // carries its own "psj-native-fig-v1" schema, and DiffAgainstGolden
+  // refuses cross-schema comparison by design).
+  if (with_native) {
+    std::fprintf(stderr,
+                 "[report] running native wall-clock sweep (host has %d "
+                 "core(s))...\n",
+                 native::HostHardwareConcurrency());
+    report::NativeSweepOptions native_options;
+    native_options.scale = scale;
+    native_options.repeats = IntFlag(argc, argv, "native-repeats", 3);
+    report::FigureReportEntry entry;
+    entry.doc = report::RunNativeSpeedupFigure(**workload, native_options);
+    entry.expectation = report::kNativeSpeedupExpectation;
+    const double* verified = entry.doc.FindScalar("verified");
+    if (verified == nullptr || *verified != 1.0) {
+      std::fprintf(stderr,
+                   "error: native engines diverged from the sequential "
+                   "join\n");
+      return 1;
     }
     entries.push_back(std::move(entry));
   }
@@ -684,12 +770,15 @@ int Usage() {
       "           [--backend=default|thread|fiber]\n"
       "           [--sweep=n1,n2,...] [--jobs=N] [--json]\n"
       "           [--trace=OUT.json] [--timeline] [--check]\n"
+      "           [--engine=sim|native|partition] [--threads=N] [--verify]\n"
+      "           [--deterministic] [--grid=K]\n"
       "  window   --prefix=P --rect=xl,yl,xu,yu [--processors=N]\n"
       "           [--backend=default|thread|fiber]\n"
       "  knn      --prefix=P --point=x,y [--k=N]\n"
       "  report   [--figures=fig5,...] [--scale=F] [--jobs=N]\n"
       "           [--golden-dir=DIR] [--check | --update-goldens]\n"
-      "           [--out-dir=DIR] [--cache-dir=DIR]\n");
+      "           [--out-dir=DIR] [--cache-dir=DIR]\n"
+      "           [--native] [--native-repeats=N]\n");
   return 2;
 }
 

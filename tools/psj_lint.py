@@ -60,6 +60,14 @@ THREADING_ALLOWLIST = (
     "src/core/experiment.h",
     "src/core/experiment.cc",
 )
+# Whole directories where host threading is the point, not a leak. Each entry
+# must end with "/" so "src/nativefoo.cc" never matches "src/native/".
+THREADING_ALLOWLIST_DIRS = (
+    # The native multicore backend: real worker threads over in-memory
+    # trees, wall-clock timed by design. It shares no state with the
+    # simulator beyond read-only trees and the pure task builder.
+    "src/native/",
+)
 THREADING_TOKENS = [
     "std::thread",
     "std::jthread",
@@ -129,7 +137,11 @@ def lint_file(path, rel, errors):
             for token in WALL_CLOCK_TOKENS:
                 if token in code:
                     report("no-wall-clock", token)
-        if rel.startswith(THREADING_DIRS) and rel not in THREADING_ALLOWLIST:
+        if (
+            rel.startswith(THREADING_DIRS)
+            and rel not in THREADING_ALLOWLIST
+            and not rel.startswith(THREADING_ALLOWLIST_DIRS)
+        ):
             for token in THREADING_TOKENS:
                 if token in code:
                     report("no-host-threading", token)
@@ -177,11 +189,65 @@ def lint_tracked_build_trees(root, errors):
             errors.append(f"{tracked}: [no-tracked-build] tracked build-tree path")
 
 
+def self_test():
+    """Checks the rules against known-good and known-bad snippets.
+
+    Guards the allowlists themselves: a typo that silently disabled a rule
+    (or blanket-allowed a directory) would otherwise only show up as CI
+    passing code it should reject.
+    """
+    import tempfile
+
+    cases = [
+        # (file path relative to the repo root, content, expected rule or None)
+        ("src/join/x.cc", "#include <thread>\n", "no-host-threading"),
+        ("src/join/x.cc", "std::mutex mu;\n", "no-host-threading"),
+        ("src/sim/simulation.cc", "#include <thread>\n", None),
+        # The native backend directory is allowlisted for threading…
+        ("src/native/x.cc", "#include <thread>\nstd::atomic<int> n;\n", None),
+        # …but the allowlist is the directory, not the prefix string.
+        ("src/native_like.cc", "#include <thread>\n", "no-host-threading"),
+        # …and only for threading: mutable globals stay banned there.
+        ("src/native/x.cc", "static int hits = 0;\n", "no-mutable-globals"),
+        ("src/core/x.cc", "steady_clock::now();\n", "no-wall-clock"),
+        # Wall clocks are legal outside src/sim + src/core (native included).
+        ("src/native/x.cc", "steady_clock::now();\n", None),
+        ("src/join/x.cc", "// std::thread only in a comment\n", None),
+    ]
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for i, (rel, content, rule) in enumerate(cases):
+            path = pathlib.Path(tmp) / f"case{i}.cc"
+            path.write_text(content, encoding="utf-8")
+            errors = []
+            lint_file(path, rel, errors)
+            if rule is None and errors:
+                failures.append(f"case {i} ({rel!r}): unexpected {errors}")
+            elif rule is not None and not any(f"[{rule}]" in e for e in errors):
+                failures.append(
+                    f"case {i} ({rel!r}): expected [{rule}], got {errors}"
+                )
+    if failures:
+        print(f"psj_lint --self-test: {len(failures)} failure(s)", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"psj_lint --self-test: {len(cases)} cases ok")
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="check the lint rules against built-in samples and exit",
+    )
     parser.add_argument("files", nargs="*", help="restrict to these files")
     args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
     root = pathlib.Path(args.root).resolve()
 
     if args.files:
