@@ -14,12 +14,17 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "geo/node_scan.h"
 #include "geo/plane_sweep.h"
 #include "geo/rect_batch.h"
 #include "util/rng.h"
 
 namespace psj::bench {
 namespace {
+
+// --smoke: fast CI sanity run (short calibration, few samples) that checks
+// the harness end to end; the numbers are not publication-grade.
+bool g_smoke = false;
 
 // Every timed call processes the next of Variants(n) independent datasets,
 // so the branch predictor cannot memorize one input's branch sequence across
@@ -63,11 +68,13 @@ double SampleNs(Fn&& fn, size_t reps) {
          static_cast<double>(reps);
 }
 
-// Repetition count such that one sample takes >= ~2 ms.
+// Repetition count such that one sample takes >= ~2 ms (~50 us in smoke
+// mode).
 template <typename Fn>
 size_t CalibrateReps(Fn&& fn) {
+  const double target_ns = g_smoke ? 5e4 : 2e6;
   size_t reps = 1;
-  while (SampleNs(fn, reps) * static_cast<double>(reps) < 2e6 &&
+  while (SampleNs(fn, reps) * static_cast<double>(reps) < target_ns &&
          reps <= (1u << 24)) {
     reps *= 4;
   }
@@ -84,7 +91,8 @@ std::pair<double, double> TimeBothNs(FnA&& a, FnB&& b) {
   const size_t reps_b = CalibrateReps(b);
   double best_a = 1e300;
   double best_b = 1e300;
-  for (int sample = 0; sample < 9; ++sample) {
+  const int samples = g_smoke ? 3 : 9;
+  for (int sample = 0; sample < samples; ++sample) {
     best_a = std::min(best_a, SampleNs(a, reps_a));
     best_b = std::min(best_b, SampleNs(b, reps_b));
   }
@@ -99,6 +107,7 @@ struct Row {
   size_t n;
   double scalar_ns_per_rect;
   double batch_ns_per_rect;
+  double hit_rate = -1.0;  // >= 0 only for the intra-node scan rows.
   double speedup() const { return scalar_ns_per_rect / batch_ns_per_rect; }
 };
 
@@ -190,10 +199,67 @@ Row BenchSortByXl(Rng& rng, size_t n) {
   return Row{"sort_by_xl", n, scalar_ns / dn, batch_ns / dn};
 }
 
+// Intra-node scan (the tree-descent inner loop): a query window against one
+// node's sentinel-padded coordinate planes. Each runtime-dispatched variant
+// is timed against the same scalar reference; window_side steers the hit
+// rate (a well-packed node sees both selective windows during descent and
+// near-full overlap at the clip-rect root pairs).
+void BenchNodeScan(Rng& rng, size_t n, double window_side,
+                   std::vector<Row>* rows) {
+  const size_t variants = Variants(n);
+  std::vector<RectBatch> batches(variants);
+  std::vector<Rect> queries(variants);
+  for (size_t v = 0; v < variants; ++v) {
+    batches[v].Assign(MakeRects(rng, n));
+    const double x = rng.NextDoubleInRange(0.0, 1.0 - window_side);
+    const double y = rng.NextDoubleInRange(0.0, 1.0 - window_side);
+    queries[v] = Rect(x, y, x + window_side, y + window_side);
+  }
+  std::vector<uint32_t> hits;
+  double hit_sum = 0.0;
+  for (size_t v = 0; v < variants; ++v) {
+    ScanIntersectingScalar(batches[v].view(), queries[v], &hits);
+    hit_sum += static_cast<double>(hits.size());
+  }
+  const double hit_rate =
+      hit_sum / static_cast<double>(variants * std::max<size_t>(n, 1));
+
+  size_t v = 0;
+  const auto run = [&](auto* fn) {
+    return [&, fn] {
+      fn(batches[v].view(), queries[v], &hits);
+      v = (v + 1) % variants;
+      g_sink = g_sink + hits.size();
+    };
+  };
+  const double dn = static_cast<double>(n);
+  if (NodeScanHasSse2()) {
+    const auto [scalar_ns, simd_ns] =
+        TimeBothNs(run(&ScanIntersectingScalar), run(&ScanIntersectingSse2));
+    rows->push_back(
+        Row{"node_scan_sse2", n, scalar_ns / dn, simd_ns / dn, hit_rate});
+  }
+  if (NodeScanHasAvx2()) {
+    const auto [scalar_ns, simd_ns] =
+        TimeBothNs(run(&ScanIntersectingScalar), run(&ScanIntersectingAvx2));
+    rows->push_back(
+        Row{"node_scan_avx2", n, scalar_ns / dn, simd_ns / dn, hit_rate});
+  }
+}
+
 int Main(int argc, char** argv) {
+  std::string path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      g_smoke = true;
+    } else {
+      path = argv[i];
+    }
+  }
+
   PrintHeader("micro_kernels — scalar vs SoA batch filter-step kernels",
               "batch >= 2x on clip filter and sweep scan for nodes >= 64 "
-              "entries");
+              "entries; node scan >= 1.5x at directory fan-out (n=102)");
   Rng rng(20260805);
   std::vector<Row> rows;
   for (const size_t n : {26u, 64u, 102u, 256u, 1024u}) {
@@ -201,12 +267,23 @@ int Main(int argc, char** argv) {
     rows.push_back(BenchSweepScan(rng, n));
     rows.push_back(BenchSortByXl(rng, n));
   }
+  // Intra-node scan at the paper's two fan-outs (data node 26, directory
+  // node 102), with a selective and a near-everything query window each.
+  for (const size_t n : {26u, 102u}) {
+    for (const double window_side : {0.25, 0.9}) {
+      BenchNodeScan(rng, n, window_side, &rows);
+    }
+  }
 
-  std::printf("%-12s %6s %16s %16s %9s\n", "kernel", "n", "scalar ns/rect",
-              "batch ns/rect", "speedup");
+  std::printf("%-14s %6s %16s %16s %9s %8s\n", "kernel", "n",
+              "scalar ns/rect", "simd ns/rect", "speedup", "hit");
   for (const Row& row : rows) {
-    std::printf("%-12s %6zu %16.2f %16.2f %8.2fx\n", row.kernel, row.n,
+    std::printf("%-14s %6zu %16.2f %16.2f %8.2fx", row.kernel, row.n,
                 row.scalar_ns_per_rect, row.batch_ns_per_rect, row.speedup());
+    if (row.hit_rate >= 0.0) {
+      std::printf(" %7.0f%%", row.hit_rate * 100.0);
+    }
+    std::printf("\n");
   }
 
   JsonWriter json;
@@ -217,6 +294,8 @@ int Main(int argc, char** argv) {
   json.String(__VERSION__);
   json.Key("simd");
   json.String(RectBatchSimdLevel());
+  json.Key("scan_isa");
+  json.String(NodeScanIsa());
   json.Key("units");
   json.String("ns_per_rect");
   json.Key("results");
@@ -233,12 +312,15 @@ int Main(int argc, char** argv) {
     json.Double(row.batch_ns_per_rect);
     json.Key("speedup");
     json.Double(row.speedup());
+    if (row.hit_rate >= 0.0) {
+      json.Key("hit_rate");
+      json.Double(row.hit_rate);
+    }
     json.EndObject();
   }
   json.EndArray();
   json.EndObject();
 
-  const std::string path = argc > 1 ? argv[1] : "BENCH_kernels.json";
   if (!json.WriteFile(path)) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());
     return 1;

@@ -247,8 +247,9 @@ class JoinDriver {
     const RTreeNode& nr = FetchNode(p, tree_r_, pair.page_r, pair.level);
     const RTreeNode& ns = FetchNode(p, tree_s_, pair.page_s, pair.level);
     NodeMatchCounts counts;
-    const auto matches =
-        MatchNodeEntries(nr, ns, match_options_, &counts, &match_scratch_);
+    const auto matches = MatchNodePages(tree_r_, pair.page_r, tree_s_,
+                                        pair.page_s, match_options_, &counts,
+                                        &match_scratch_);
     p.Advance(static_cast<sim::SimTime>(counts.entries_considered_r +
                                         counts.entries_considered_s) *
                   config_.costs.cpu_per_entry_sorted +

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "buffer/path_buffer.h"
+#include "geo/node_scan.h"
 #include "geo/rect_batch.h"
 #include "core/task_pool.h"
 #include "core/workload.h"
@@ -142,7 +143,8 @@ class WindowQueryDriver {
       std::deque<PageTask> next;
       for (const PageTask& task : frontier) {
         const RTreeNode& node = FetchNode(p, task.page, task.level);
-        std::vector<RTreeEntry> entries = node.entries;
+        std::vector<RTreeEntry> entries(node.entries.begin(),
+                                        node.entries.end());
         std::sort(entries.begin(), entries.end(),
                   [](const RTreeEntry& a, const RTreeEntry& b) {
                     if (a.rect.xl != b.rect.xl) return a.rect.xl < b.rect.xl;
@@ -204,7 +206,14 @@ class WindowQueryDriver {
   // the same order as the scalar entry loop. Scratch is per simulated
   // processor: the data-page loop holds the result across p.Sync(), where
   // other processors' coroutines run their own filters.
-  std::span<const uint32_t> FilterEntries(size_t cpu, const RTreeNode& node) {
+  std::span<const uint32_t> FilterEntries(size_t cpu, uint32_t page,
+                                          const RTreeNode& node) {
+    // Sealed trees scan the cached node planes in place; the fallback
+    // transposes the entries first. Hit indices are identical either way.
+    if (const NodeSoACache* cache = tree_.soa(); cache != nullptr) {
+      ScanIntersecting(cache->view(page).rects, window_, &filter_hits_[cpu]);
+      return filter_hits_[cpu];
+    }
     filter_batches_[cpu].AssignProjected(
         node.entries,
         [](const RTreeEntry& e) -> const Rect& { return e.rect; });
@@ -221,7 +230,7 @@ class WindowQueryDriver {
 
     if (task.level > 0) {
       std::vector<PageTask> children;
-      for (const uint32_t k : FilterEntries(cpu, node)) {
+      for (const uint32_t k : FilterEntries(cpu, task.page, node)) {
         children.push_back(PageTask{node.entries[k].child_page(),
                                     static_cast<int16_t>(task.level - 1)});
       }
@@ -232,7 +241,7 @@ class WindowQueryDriver {
     // Data page: every entry whose MBR intersects the window is a
     // candidate; the refinement test against the window geometry is
     // charged per the overlap-degree waiting-period model.
-    for (const uint32_t k : FilterEntries(cpu, node)) {
+    for (const uint32_t k : FilterEntries(cpu, task.page, node)) {
       const RTreeEntry& entry = node.entries[k];
       const sim::SimTime refine_cost =
           config_.costs.RefinementCost(entry.rect, window_);

@@ -46,7 +46,8 @@ JoinTaskSet BuildJoinTasks(const RStarTree& tree_r, const RStarTree& tree_s,
         fetch(expand_r ? tree_s : tree_r, expand_r ? pair.page_s : pair.page_r,
               expand_r ? pair.level_s : pair.level_r);
     const Rect other_mbr = other.ComputeMbr();
-    std::vector<RTreeEntry> entries = node.entries;
+    std::vector<RTreeEntry> entries(node.entries.begin(),
+                                    node.entries.end());
     std::sort(entries.begin(), entries.end(),
               [](const RTreeEntry& a, const RTreeEntry& b) {
                 if (a.rect.xl != b.rect.xl) return a.rect.xl < b.rect.xl;
@@ -98,8 +99,9 @@ JoinTaskSet BuildJoinTasks(const RStarTree& tree_r, const RStarTree& tree_s,
       const RTreeNode& nr = fetch(tree_r, fp.page_r, fp.level_r);
       const RTreeNode& ns = fetch(tree_s, fp.page_s, fp.level_s);
       NodeMatchCounts counts;
-      const auto matches =
-          MatchNodeEntries(nr, ns, match_options, &counts, scratch);
+      const auto matches = MatchNodePages(tree_r, fp.page_r, tree_s,
+                                          fp.page_s, match_options, &counts,
+                                          scratch);
       if (hooks.charge_match) {
         hooks.charge_match(counts);
       }

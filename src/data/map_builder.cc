@@ -20,6 +20,7 @@ RStarTree BuildTreeFromObjects(uint32_t tree_id,
   for (const MapObject& obj : objects) {
     tree.Insert(obj.Mbr(), obj.id);
   }
+  tree.Seal();
   return tree;
 }
 

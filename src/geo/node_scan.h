@@ -1,0 +1,90 @@
+#ifndef PSJ_GEO_NODE_SCAN_H_
+#define PSJ_GEO_NODE_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "geo/rect.h"
+#include "geo/rect_batch.h"
+
+namespace psj {
+
+/// \brief Branchless intra-node MBR scan kernels over SoA views.
+///
+/// Unlike the rect_batch.cc kernels — compiled once for whatever ISA the
+/// translation unit targets — these dispatch at runtime between scalar,
+/// SSE2 and AVX2 variants, so a baseline build still runs the wide scan on
+/// hardware that has it. All variants emit bit-identical results in
+/// ascending index order (the contract every golden baseline and
+/// perturbation gate depends on); the variant entry points exist so the
+/// micro benchmarks and property tests can pin each one down.
+
+/// The instruction set ScanIntersecting dispatches to on this machine
+/// ("avx2", "sse2", or "scalar"). This is detected from the CPU, not the
+/// compile flags; compare RectBatchSimdLevel(), which reports what the
+/// rect_batch kernels were *compiled* for.
+const char* NodeScanIsa();
+
+/// Appends to `*out_ids` (after clearing it) the indices, ascending, of the
+/// view's rectangles intersecting `query` (closed boundaries, like
+/// Rect::Intersects) — the same results FilterIntersecting produces over a
+/// batch holding the same rectangles.
+void ScanIntersecting(const RectSoAView& node, const Rect& query,
+                      std::vector<uint32_t>* out_ids);
+
+/// Forced-variant entry points for the benchmarks/tests. The SSE2/AVX2
+/// variants must only be called when the matching NodeScanHas*() is true.
+bool NodeScanHasSse2();
+bool NodeScanHasAvx2();
+void ScanIntersectingScalar(const RectSoAView& node, const Rect& query,
+                            std::vector<uint32_t>* out_ids);
+void ScanIntersectingSse2(const RectSoAView& node, const Rect& query,
+                          std::vector<uint32_t>* out_ids);
+void ScanIntersectingAvx2(const RectSoAView& node, const Rect& query,
+                          std::vector<uint32_t>* out_ids);
+
+/// \brief BatchSweepJoin over two SoA views (e.g. cached tree nodes).
+///
+/// Identical pipeline, emission order and survivor counts as BatchSweepJoin
+/// over raw batches holding the same rectangles, but skips loading the raw
+/// batches entirely: the restriction scans the views in place and only the
+/// survivors are gathered. `scratch.ids_r.size()` / `ids_s.size()`
+/// afterwards give the survivor counts (with `clip` null, the full sizes).
+/// Returns the exact y-test count.
+template <typename Callback>
+size_t BatchSweepJoinViews(SweepScratch& scratch, const RectSoAView& r,
+                           const RectSoAView& s, const Rect* clip,
+                           Callback&& emit) {
+  if (clip != nullptr) {
+    ScanIntersecting(r, *clip, &scratch.ids_r);
+    ScanIntersecting(s, *clip, &scratch.ids_s);
+    scratch.kept_r.AssignGather(r, scratch.ids_r);
+    scratch.kept_s.AssignGather(s, scratch.ids_s);
+    SortedOrderByXl(scratch.kept_r, &scratch.order_r, &scratch.keys);
+    SortedOrderByXl(scratch.kept_s, &scratch.order_s, &scratch.keys);
+    scratch.sorted_r.AssignGather(scratch.kept_r, scratch.order_r);
+    scratch.sorted_s.AssignGather(scratch.kept_s, scratch.order_s);
+  } else {
+    scratch.ids_r.resize(r.size);
+    scratch.ids_s.resize(s.size);
+    std::iota(scratch.ids_r.begin(), scratch.ids_r.end(), 0u);
+    std::iota(scratch.ids_s.begin(), scratch.ids_s.end(), 0u);
+    SortedOrderByXl(r, &scratch.order_r, &scratch.keys);
+    SortedOrderByXl(s, &scratch.order_s, &scratch.keys);
+    scratch.sorted_r.AssignGather(r, scratch.order_r);
+    scratch.sorted_s.AssignGather(s, scratch.order_s);
+  }
+  return PlaneSweepBatchSorted(
+      scratch.sorted_r, scratch.sorted_s, &scratch.pairs,
+      [&](size_t i, size_t j) {
+        emit(scratch.ids_r[scratch.order_r[i]],
+             scratch.ids_s[scratch.order_s[j]]);
+      });
+}
+
+}  // namespace psj
+
+#endif  // PSJ_GEO_NODE_SCAN_H_

@@ -377,10 +377,11 @@ size_t SweepCollectPairs(const RectBatch& r, const RectBatch& s,
 
 #endif  // defined(__AVX2__)
 
-void SortedOrderByXl(const RectBatch& batch, std::vector<uint32_t>* order,
-                     std::vector<std::pair<double, uint32_t>>* key_scratch) {
-  const size_t n = batch.size();
-  const double* const xl = batch.xl();
+namespace {
+
+void SortedOrderByXlPlane(const double* xl, size_t n,
+                          std::vector<uint32_t>* order,
+                          std::vector<std::pair<double, uint32_t>>* key_scratch) {
   key_scratch->resize(n);
   for (size_t i = 0; i < n; ++i) {
     (*key_scratch)[i] = {xl[i], static_cast<uint32_t>(i)};
@@ -395,6 +396,18 @@ void SortedOrderByXl(const RectBatch& batch, std::vector<uint32_t>* order,
   for (size_t i = 0; i < n; ++i) {
     (*order)[i] = (*key_scratch)[i].second;
   }
+}
+
+}  // namespace
+
+void SortedOrderByXl(const RectBatch& batch, std::vector<uint32_t>* order,
+                     std::vector<std::pair<double, uint32_t>>* key_scratch) {
+  SortedOrderByXlPlane(batch.xl(), batch.size(), order, key_scratch);
+}
+
+void SortedOrderByXl(const RectSoAView& view, std::vector<uint32_t>* order,
+                     std::vector<std::pair<double, uint32_t>>* key_scratch) {
+  SortedOrderByXlPlane(view.xl, view.size, order, key_scratch);
 }
 
 }  // namespace psj

@@ -13,6 +13,26 @@
 
 namespace psj {
 
+/// \brief Non-owning view over four SoA coordinate planes following the
+/// RectBatch conventions.
+///
+/// `padded` lanes are readable starting at index 0 and every lane in
+/// [size, padded) holds sentinel coordinates (xl = +inf, yl = +inf,
+/// xu = -inf, yu = -inf), so kernels may read full blocks past the last real
+/// rectangle without bounds checks. Views are produced by RectBatch::view()
+/// and by the per-tree SoA node cache (rtree/node_soa.h).
+struct RectSoAView {
+  const double* xl = nullptr;
+  const double* yl = nullptr;
+  const double* xu = nullptr;
+  const double* yu = nullptr;
+  size_t size = 0;
+  size_t padded = 0;  // Readable lanes; >= size + RectBatch::kBlock.
+
+  bool empty() const { return size == 0; }
+  Rect rect(size_t i) const { return Rect(xl[i], yl[i], xu[i], yu[i]); }
+};
+
 /// \brief Structure-of-arrays rectangle container for the filter-step hot
 /// path.
 ///
@@ -46,11 +66,27 @@ class RectBatch {
     return Rect(xl_[i], yl_[i], xu_[i], yu_[i]);
   }
 
+  /// A view of this batch's planes (valid until the next mutating call).
+  RectSoAView view() const {
+    return RectSoAView{xl(), yl(), xu(), yu(), size(), padded_size()};
+  }
+
   void Clear() { Resize(0); }
 
   /// Loads `rects`, replacing the previous contents.
   void Assign(std::span<const Rect> rects) {
     AssignProjected(rects, [](const Rect& r) -> const Rect& { return r; });
+  }
+
+  /// Loads a SoA view by straight plane copies (no AoS walk).
+  void Assign(const RectSoAView& src) {
+    Resize(src.size);
+    for (size_t i = 0; i < src.size; ++i) {
+      xl_[i] = src.xl[i];
+      yl_[i] = src.yl[i];
+      xu_[i] = src.xu[i];
+      yu_[i] = src.yu[i];
+    }
   }
 
   /// Loads `proj(element)` for every element of `range` — e.g. the `rect`
@@ -73,13 +109,18 @@ class RectBatch {
   /// Loads `src[ids[k]]` for k = 0..ids.size()-1 (a gather); used to compact
   /// clip survivors and to apply a sort permutation.
   void AssignGather(const RectBatch& src, std::span<const uint32_t> ids) {
+    AssignGather(src.view(), ids);
+  }
+
+  /// Gather overload reading from a SoA view (e.g. a cached tree node).
+  void AssignGather(const RectSoAView& src, std::span<const uint32_t> ids) {
     Resize(ids.size());
     for (size_t k = 0; k < ids.size(); ++k) {
       const size_t i = ids[k];
-      xl_[k] = src.xl_[i];
-      yl_[k] = src.yl_[i];
-      xu_[k] = src.xu_[i];
-      yu_[k] = src.yu_[i];
+      xl_[k] = src.xl[i];
+      yl_[k] = src.yl[i];
+      xu_[k] = src.xu[i];
+      yu_[k] = src.yu[i];
     }
   }
 
@@ -141,6 +182,11 @@ size_t CountAndEmitYOverlaps(const RectBatch& batch, size_t lo,
 /// runs over packed (key, index) pairs in `*key_scratch` so comparisons
 /// never chase the AoS layout.
 void SortedOrderByXl(const RectBatch& batch, std::vector<uint32_t>* order,
+                     std::vector<std::pair<double, uint32_t>>* key_scratch);
+
+/// View overload of SortedOrderByXl: same permutation and tie-break over a
+/// SoA view's xl plane.
+void SortedOrderByXl(const RectSoAView& view, std::vector<uint32_t>* order,
                      std::vector<std::pair<double, uint32_t>>* key_scratch);
 
 /// \brief The full plane-sweep join over two x-sorted batches as one fused

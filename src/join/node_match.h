@@ -7,6 +7,8 @@
 
 #include "geo/rect_batch.h"
 #include "rtree/node.h"
+#include "rtree/node_soa.h"
+#include "rtree/rstar_tree.h"
 
 namespace psj {
 
@@ -45,6 +47,28 @@ using NodeMatchScratch = SweepScratch;
 std::vector<std::pair<uint32_t, uint32_t>> MatchNodeEntries(
     const RTreeNode& node_r, const RTreeNode& node_s,
     const NodeMatchOptions& options = NodeMatchOptions(),
+    NodeMatchCounts* counts = nullptr, NodeMatchScratch* scratch = nullptr);
+
+/// \brief MatchNodeEntries over two cached SoA node images
+/// (rtree/node_soa.h).
+///
+/// Bit-identical to MatchNodeEntries on the corresponding nodes — the same
+/// pairs in the same order and the same counts — but skips the per-call
+/// AoS→SoA transposition and the two scalar MBR folds (the views carry
+/// precomputed MBRs), and runs the restriction on the runtime-dispatched
+/// intra-node scan kernels.
+std::vector<std::pair<uint32_t, uint32_t>> MatchNodeEntriesSoA(
+    const NodeSoAView& node_r, const NodeSoAView& node_s,
+    const NodeMatchOptions& options = NodeMatchOptions(),
+    NodeMatchCounts* counts = nullptr, NodeMatchScratch* scratch = nullptr);
+
+/// Matches tree_r.node(page_r) against tree_s.node(page_s), dispatching to
+/// the SoA kernels when both trees carry a valid SoA cache (RStarTree::Seal)
+/// and to the entry-array path otherwise. Pairs and counts are identical
+/// either way.
+std::vector<std::pair<uint32_t, uint32_t>> MatchNodePages(
+    const RStarTree& tree_r, uint32_t page_r, const RStarTree& tree_s,
+    uint32_t page_s, const NodeMatchOptions& options = NodeMatchOptions(),
     NodeMatchCounts* counts = nullptr, NodeMatchScratch* scratch = nullptr);
 
 }  // namespace psj

@@ -61,8 +61,9 @@ class SequentialJoiner {
       return;
     }
     ++result_.node_pairs_processed;
-    const auto pairs =
-        MatchNodeEntries(nr, ns, options_.match, nullptr, &match_scratch_);
+    const auto pairs = MatchNodePages(tree_r_, page_r, tree_s_, page_s,
+                                      options_.match, nullptr,
+                                      &match_scratch_);
     if (trace_ != nullptr) {
       trace_->Instant(0, trace::Category::kNodePair, "node pair", clock_,
                       static_cast<int64_t>(pairs.size()), nr.level);
@@ -80,7 +81,8 @@ class SequentialJoiner {
   }
 
   static std::vector<RTreeEntry> SortedEntries(const RTreeNode& node) {
-    std::vector<RTreeEntry> entries = node.entries;
+    std::vector<RTreeEntry> entries(node.entries.begin(),
+                                    node.entries.end());
     std::sort(entries.begin(), entries.end(),
               [](const RTreeEntry& a, const RTreeEntry& b) {
                 if (a.rect.xl != b.rect.xl) return a.rect.xl < b.rect.xl;

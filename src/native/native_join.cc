@@ -127,8 +127,9 @@ class NativeJoiner {
   void ExecutePair(int id, WorkerState& w, const NodePair& pair) {
     const RTreeNode& nr = tree_r_.node(pair.page_r);
     const RTreeNode& ns = tree_s_.node(pair.page_s);
-    const auto matches =
-        MatchNodeEntries(nr, ns, config_.match, nullptr, &w.scratch);
+    const auto matches = MatchNodePages(tree_r_, pair.page_r, tree_s_,
+                                        pair.page_s, config_.match, nullptr,
+                                        &w.scratch);
     ++w.stats.node_pairs_processed;
 
     if (pair.level > 0) {

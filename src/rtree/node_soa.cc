@@ -1,0 +1,49 @@
+#include "rtree/node_soa.h"
+
+#include <limits>
+
+namespace psj {
+
+void NodeSoACache::Build(const std::vector<RTreeNode>& nodes,
+                         const std::vector<bool>& is_free) {
+  constexpr size_t kBlock = RectBatch::kBlock;
+  const size_t num = nodes.size();
+  segments_.assign(num, Segment{});
+  size_t lanes = 0;
+  for (size_t p = 1; p < num; ++p) {
+    if (is_free[p]) continue;
+    Segment& seg = segments_[p];
+    seg.offset = lanes;
+    seg.count = nodes[p].entries.size();
+    // Same padding rule as RectBatch::Resize: at least one whole spare
+    // block, so kernels may read kBlock lanes from any index <= count.
+    seg.padded = ((seg.count / kBlock) + 2) * kBlock;
+    lanes += seg.padded;
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  xl_.assign(lanes, kInf);   // Sentinels: terminate x-scans,
+  yl_.assign(lanes, kInf);   // fail every y-overlap test,
+  xu_.assign(lanes, -kInf);  // fail every clip test.
+  yu_.assign(lanes, -kInf);
+  ids_.assign(lanes, 0);
+  for (size_t p = 1; p < num; ++p) {
+    if (is_free[p]) continue;
+    Segment& seg = segments_[p];
+    const RTreeNode& node = nodes[p];
+    // The same ascending ExpandToInclude fold as RTreeNode::ComputeMbr, so
+    // the cached MBR is bitwise equal to the on-demand one.
+    Rect mbr = Rect::Empty();
+    for (size_t i = 0; i < seg.count; ++i) {
+      const RTreeEntry& entry = node.entries[i];
+      xl_[seg.offset + i] = entry.rect.xl;
+      yl_[seg.offset + i] = entry.rect.yl;
+      xu_[seg.offset + i] = entry.rect.xu;
+      yu_[seg.offset + i] = entry.rect.yu;
+      ids_[seg.offset + i] = entry.id;
+      mbr.ExpandToInclude(entry.rect);
+    }
+    seg.mbr = mbr;
+  }
+}
+
+}  // namespace psj

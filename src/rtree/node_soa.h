@@ -1,0 +1,70 @@
+#ifndef PSJ_RTREE_NODE_SOA_H_
+#define PSJ_RTREE_NODE_SOA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geo/rect.h"
+#include "geo/rect_batch.h"
+#include "rtree/node.h"
+
+namespace psj {
+
+/// \brief One node's cached SoA image: the sentinel-padded coordinate
+/// planes (RectBatch conventions), the entry ids alongside, and the node
+/// MBR precomputed with the exact ExpandToInclude fold of
+/// RTreeNode::ComputeMbr — so descent paths neither re-transpose the
+/// entries nor re-fold the MBR.
+struct NodeSoAView {
+  RectSoAView rects;
+  const uint64_t* ids = nullptr;
+  Rect mbr = Rect::Empty();
+
+  size_t size() const { return rects.size; }
+};
+
+/// \brief Per-tree cache of every node's SoA image, built once after bulk
+/// construction (RStarTree::Seal).
+///
+/// All nodes share four flat coordinate planes plus one id plane; each node
+/// owns a private kBlock-aligned segment padded with sentinel lanes, so the
+/// intra-node kernels (geo/node_scan.h) may read full blocks past a node's
+/// last entry without touching a neighbour's coordinates.
+class NodeSoACache {
+ public:
+  /// (Re)builds the planes for every live page of `nodes`; pages flagged in
+  /// `is_free` get empty views.
+  void Build(const std::vector<RTreeNode>& nodes,
+             const std::vector<bool>& is_free);
+
+  NodeSoAView view(uint32_t page_no) const {
+    const Segment& seg = segments_[page_no];
+    return NodeSoAView{
+        RectSoAView{xl_.data() + seg.offset, yl_.data() + seg.offset,
+                    xu_.data() + seg.offset, yu_.data() + seg.offset,
+                    seg.count, seg.padded},
+        ids_.data() + seg.offset, seg.mbr};
+  }
+
+  size_t num_pages() const { return segments_.size(); }
+
+ private:
+  struct Segment {
+    size_t offset = 0;  // First lane of this node in the shared planes.
+    size_t count = 0;   // Real entries.
+    size_t padded = 0;  // Lanes including the sentinel tail.
+    Rect mbr = Rect::Empty();
+  };
+
+  std::vector<Segment> segments_;
+  std::vector<double> xl_;
+  std::vector<double> yl_;
+  std::vector<double> xu_;
+  std::vector<double> yu_;
+  std::vector<uint64_t> ids_;
+};
+
+}  // namespace psj
+
+#endif  // PSJ_RTREE_NODE_SOA_H_

@@ -6,6 +6,7 @@
 #include <queue>
 #include <limits>
 
+#include "geo/node_scan.h"
 #include "geo/rect_batch.h"
 #include "util/check.h"
 #include "util/string_util.h"
@@ -64,6 +65,7 @@ size_t RStarTree::MinFillFor(int level) const {
 }
 
 uint32_t RStarTree::AllocateNode(RTreeNode node) {
+  soa_valid_ = false;
   if (!free_pages_.empty()) {
     const uint32_t page_no = free_pages_.back();
     free_pages_.pop_back();
@@ -80,6 +82,7 @@ uint32_t RStarTree::AllocateNode(RTreeNode node) {
 void RStarTree::FreeNode(uint32_t page_no) {
   PSJ_CHECK_GT(page_no, 0u);
   PSJ_CHECK(!is_free_[page_no]);
+  soa_valid_ = false;
   nodes_[page_no] = RTreeNode();
   is_free_[page_no] = true;
   free_pages_.push_back(page_no);
@@ -94,7 +97,39 @@ const RTreeNode& RStarTree::node(uint32_t page_no) const {
 RTreeNode& RStarTree::mutable_node(uint32_t page_no) {
   PSJ_CHECK_LT(page_no, nodes_.size());
   PSJ_CHECK(!is_free_[page_no]);
+  soa_valid_ = false;
   return nodes_[page_no];
+}
+
+void RStarTree::Seal() {
+  if (options_.arena_entry_storage) {
+    CompactEntryStorage();
+  }
+  soa_cache_.Build(nodes_, is_free_);
+  soa_valid_ = true;
+}
+
+void RStarTree::CompactEntryStorage() {
+  size_t total = 0;
+  for (uint32_t p = 1; p < nodes_.size(); ++p) {
+    if (!is_free_[p]) total += nodes_[p].entries.size();
+  }
+  std::vector<RTreeEntry> arena;
+  arena.reserve(total);  // Exact, so the slices below never move.
+  std::vector<size_t> offsets(nodes_.size(), 0);
+  for (uint32_t p = 1; p < nodes_.size(); ++p) {
+    if (is_free_[p]) continue;
+    offsets[p] = arena.size();
+    const EntryList& entries = nodes_[p].entries;
+    arena.insert(arena.end(), entries.begin(), entries.end());
+  }
+  for (uint32_t p = 1; p < nodes_.size(); ++p) {
+    if (is_free_[p]) continue;
+    nodes_[p].entries.Borrow(arena.data() + offsets[p],
+                             nodes_[p].entries.size());
+  }
+  // Replace the old arena only after every node points into the new one.
+  entry_arena_ = std::move(arena);
 }
 
 bool RStarTree::IsFreePage(uint32_t page_no) const {
@@ -481,7 +516,7 @@ RTreeEntry RStarTree::SplitNodeRStar(uint32_t page_no) {
     double area;
   };
 
-  std::vector<RTreeEntry> sorted = n.entries;
+  std::vector<RTreeEntry> sorted(n.entries.begin(), n.entries.end());
   double best_margin_sum[2] = {std::numeric_limits<double>::infinity(),
                                std::numeric_limits<double>::infinity()};
   Candidate best_per_axis[2] = {};
@@ -700,12 +735,27 @@ std::vector<uint64_t> RStarTree::WindowQuery(const Rect& window) const {
   std::vector<uint32_t> stack = {root_page_};
   // Per-node entry filtering runs on the batched SoA clip kernel; the hit
   // indices come back ascending, preserving the scalar traversal order.
+  // Sealed trees scan their cached node planes in place; unsealed trees
+  // transpose each node into a scratch batch first — identical results.
   thread_local RectBatch batch;
   thread_local std::vector<uint32_t> hits;
+  const NodeSoACache* cache = soa();
   while (!stack.empty()) {
     const uint32_t page = stack.back();
     stack.pop_back();
     const RTreeNode& n = node(page);
+    if (cache != nullptr) {
+      const NodeSoAView v = cache->view(page);
+      ScanIntersecting(v.rects, window, &hits);
+      for (const uint32_t k : hits) {
+        if (n.is_leaf()) {
+          result.push_back(v.ids[k]);
+        } else {
+          stack.push_back(static_cast<uint32_t>(v.ids[k]));
+        }
+      }
+      continue;
+    }
     batch.AssignProjected(n.entries, [](const RTreeEntry& e) -> const Rect& {
       return e.rect;
     });
@@ -882,6 +932,7 @@ RStarTree RStarTree::FromNodes(uint32_t tree_id, std::vector<RTreeNode> nodes,
   tree.root_page_ = root_page;
   tree.height_ = height;
   tree.num_data_entries_ = num_data_entries;
+  tree.Seal();
   return tree;
 }
 

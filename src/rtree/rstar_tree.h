@@ -6,6 +6,7 @@
 
 #include "geo/rect.h"
 #include "rtree/node.h"
+#include "rtree/node_soa.h"
 #include "storage/page_file.h"
 #include "util/statusor.h"
 
@@ -40,6 +41,10 @@ struct RTreeOptions {
   bool enable_forced_reinsert = true;
   SplitAlgorithm split_algorithm = SplitAlgorithm::kRStar;
   ChooseSubtreePolicy choose_subtree = ChooseSubtreePolicy::kRStar;
+  /// Seal() compacts every node's entries into one tree-level arena
+  /// (replacing the per-node heap allocations) before building the SoA
+  /// cache; disabled for the allocation-count ablation.
+  bool arena_entry_storage = true;
 
   /// The original R-tree of [Gut 84]: quadratic split, least-enlargement
   /// subtree choice, no forced reinsertion, 40 % minimum fill.
@@ -114,6 +119,20 @@ class RStarTree {
   const RTreeNode& node(uint32_t page_no) const;
   Rect root_mbr() const { return node(root_page_).ComputeMbr(); }
 
+  /// \brief Freezes the tree for querying: compacts node entry storage into
+  /// one arena (when options().arena_entry_storage) and (re)builds the SoA
+  /// node cache the descent hot paths read.
+  ///
+  /// Called by the bulk builders (FromNodes, BuildTreeFromObjects); any
+  /// later mutation invalidates the cache — soa() returns null again —
+  /// until the next Seal(). Sealing changes no query result: consumers fall
+  /// back to the entry arrays when the cache is absent, bit-identically.
+  void Seal();
+
+  /// The SoA image of every node, or null if the tree was mutated since the
+  /// last Seal() (or never sealed).
+  const NodeSoACache* soa() const { return soa_valid_ ? &soa_cache_ : nullptr; }
+
   /// One past the largest page number in use (page 0 is the metadata page).
   uint32_t num_pages() const { return static_cast<uint32_t>(nodes_.size()); }
   /// True iff the page currently holds no node (freed by deletions).
@@ -150,6 +169,10 @@ class RStarTree {
   void FreeNode(uint32_t page_no);
 
   RTreeNode& mutable_node(uint32_t page_no);
+
+  /// Moves every live node's entries into entry_arena_ (one contiguous
+  /// allocation) and re-points the nodes at their slices.
+  void CompactEntryStorage();
 
   /// Chooses the insertion path (root → node at `target_level`) for `rect`,
   /// applying the R* ChooseSubtree criteria.
@@ -204,6 +227,12 @@ class RStarTree {
   uint32_t root_page_ = 0;
   int height_ = 1;
   int64_t num_data_entries_ = 0;
+  /// Backing storage of the nodes' borrowed EntryLists after Seal().
+  std::vector<RTreeEntry> entry_arena_;
+  NodeSoACache soa_cache_;
+  /// The cache matches nodes_; cleared by every mutation doorway
+  /// (mutable_node / AllocateNode / FreeNode), set only by Seal().
+  bool soa_valid_ = false;
 };
 
 }  // namespace psj

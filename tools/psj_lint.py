@@ -18,6 +18,12 @@ leak into simulated results.
                        and is invisible to the access registry. Const,
                        constexpr, or explicitly annotated state only
                        ("// psj-lint: global-ok(<reason>)").
+  no-raw-intrinsics    <immintrin.h> (and the narrower x86 intrinsic
+                       headers) may only be included under src/geo/, where
+                       the SIMD kernels live behind scalar-equivalent
+                       wrappers. Everywhere else in src/ must call the
+                       wrappers so the scalar fallback stays the single
+                       source of truth for results.
   no-tracked-build     No tracked path may start with "build" (anchored;
                        bench/ablation_tree_build.cc is fine).
   golden-schema        Committed golden/*.json baselines must be valid JSON
@@ -79,6 +85,19 @@ THREADING_TOKENS = [
     "<mutex>",
     "<atomic>",
     "<shared_mutex>",
+]
+
+INTRINSICS_DIRS = ("src",)
+# The SIMD kernel layer: raw intrinsics are implemented here, behind
+# wrappers with scalar-equivalent semantics. Directory prefix, "/"-anchored.
+INTRINSICS_ALLOWLIST_DIRS = ("src/geo/",)
+INTRINSICS_TOKENS = [
+    "<immintrin.h>",
+    "<emmintrin.h>",
+    "<smmintrin.h>",
+    "<avxintrin.h>",
+    "<avx2intrin.h>",
+    "<x86intrin.h>",
 ]
 
 GLOBAL_DIRS = ("src",)
@@ -145,6 +164,12 @@ def lint_file(path, rel, errors):
             for token in THREADING_TOKENS:
                 if token in code:
                     report("no-host-threading", token)
+        if rel.startswith(INTRINSICS_DIRS) and not rel.startswith(
+            INTRINSICS_ALLOWLIST_DIRS
+        ):
+            for token in INTRINSICS_TOKENS:
+                if token in code:
+                    report("no-raw-intrinsics", token)
         if (
             rel.startswith(GLOBAL_DIRS)
             and rel not in GLOBAL_ALLOWLIST
@@ -213,6 +238,14 @@ def self_test():
         # Wall clocks are legal outside src/sim + src/core (native included).
         ("src/native/x.cc", "steady_clock::now();\n", None),
         ("src/join/x.cc", "// std::thread only in a comment\n", None),
+        # Raw x86 intrinsics live only under src/geo/; everyone else goes
+        # through the wrappers there.
+        ("src/join/x.cc", "#include <immintrin.h>\n", "no-raw-intrinsics"),
+        ("src/rtree/x.cc", "#include <emmintrin.h>\n", "no-raw-intrinsics"),
+        ("src/geo/node_scan.cc", "#include <immintrin.h>\n", None),
+        # The allowlist is the directory, not the prefix string.
+        ("src/geometry.cc", "#include <immintrin.h>\n", "no-raw-intrinsics"),
+        ("src/join/x.cc", "// <immintrin.h> only in a comment\n", None),
     ]
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
