@@ -24,6 +24,19 @@ inline constexpr std::string_view kFigureSchema = "psj-figure-v1";
 /// goldens.
 inline constexpr std::string_view kNativeFigureSchema = "psj-native-fig-v1";
 
+/// Schema tag of the serving throughput/latency documents (report/
+/// serve_figure.h, bench/serve_qps). Wall-clock like the native family,
+/// hence never golden-compared.
+inline constexpr std::string_view kServeFigureSchema = "psj-serve-fig-v1";
+
+/// True for document families whose values are host wall-clock measurements
+/// (core count, frequency scaling, load) rather than deterministic virtual
+/// time. Wall-clock documents are never golden-gated: DiffAgainstGolden
+/// refuses them even when both sides carry the same schema tag.
+inline constexpr bool IsWallClockSchema(std::string_view schema) {
+  return schema == kNativeFigureSchema || schema == kServeFigureSchema;
+}
+
 /// One (x, y) measurement of a series.
 struct FigurePoint {
   double x = 0.0;

@@ -10,6 +10,7 @@ namespace {
 std::string_view KindLabel(Drift::Kind kind) {
   switch (kind) {
     case Drift::Kind::kSchemaMismatch: return "schema-mismatch";
+    case Drift::Kind::kWallClockRefused: return "wall-clock-refused";
     case Drift::Kind::kParamsChanged: return "params-changed";
     case Drift::Kind::kMissingSeries: return "missing-series";
     case Drift::Kind::kNewSeries: return "new-series";
@@ -99,6 +100,18 @@ DriftReport DiffAgainstGolden(const FigureDoc& golden,
   if (golden.schema != current.schema) {
     AddDrift(report, Drift::Kind::kSchemaMismatch,
              "schema '" + golden.schema + "' vs '" + current.schema + "'");
+    return report;
+  }
+
+  // Wall-clock families (native / serve sweeps) are host-dependent: two
+  // byte-identical configurations legitimately measure different values, so
+  // exact-golden gating would flag every honest run. Refuse the comparison
+  // even though the schemas match.
+  if (IsWallClockSchema(golden.schema)) {
+    AddDrift(report, Drift::Kind::kWallClockRefused,
+             "schema '" + golden.schema +
+                 "' is a wall-clock family; golden comparison is not "
+                 "meaningful");
     return report;
   }
 

@@ -42,6 +42,7 @@ class TolerancePolicy {
 struct Drift {
   enum class Kind {
     kSchemaMismatch,   // Different document families; nothing compared.
+    kWallClockRefused, // Wall-clock family; never golden-gated.
     kParamsChanged,    // scale / axis labels / tick labels differ.
     kMissingSeries,    // In the golden, absent from the current run.
     kNewSeries,        // In the current run, absent from the golden.

@@ -1,0 +1,59 @@
+#ifndef PSJ_REPORT_SERVE_FIGURE_H_
+#define PSJ_REPORT_SERVE_FIGURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+#include "report/figure_doc.h"
+
+namespace psj::report {
+
+/// Parameters of the serving throughput sweep.
+struct ServeSweepOptions {
+  /// Offered arrival rates of the load sweep (queries/second). The top
+  /// rates should exceed the single-query capacity of the host so the
+  /// sustained-QPS curves show saturation (single-core capacity on the
+  /// reference container is ~250k qps; the default top rate sits well past
+  /// it).
+  std::vector<double> offered_qps = {16000, 64000, 128000, 256000, 512000};
+  /// Open-loop run length per (mode, offered load) cell.
+  int64_t duration_micros = 1'000'000;
+  int num_threads = 1;
+  int64_t batch_window_micros = 200;
+  /// max_batch values of the batch-size ablation, driven at the highest
+  /// offered load with batching on ({1} behaves like a batched service
+  /// that can never amortize).
+  std::vector<int> ablation_max_batch = {1, 4, 16, 64, 256};
+  /// Oracle-check every Nth accepted query of every run (0 = off).
+  int verify_every = 199;
+  /// Workload scale the caller built the PaperWorkload at (recorded only).
+  double scale = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Qualitative shape the sweep should show; printed by the harness header
+/// and the Markdown report.
+inline constexpr const char* kServeExpectation =
+    "sustained QPS tracks the offered load until saturation, then plateaus; "
+    "the batched service saturates later (higher peak QPS) than "
+    "one-query-at-a-time execution at equal thread count, and sustained QPS "
+    "grows with max_batch in the ablation";
+
+/// \brief Runs the open-loop serving sweep (serve/load_gen.h) over the
+/// workload's sealed trees — batched vs one-query-at-a-time across the
+/// offered loads, plus the batch-size ablation — into a kServeFigureSchema
+/// document ("serve" family).
+///
+/// Wall-clock and host-dependent, so never golden-compared (the diff
+/// engine refuses the whole family; see IsWallClockSchema). The scalars
+/// record peak sustained QPS per mode, their ratio, and `verified`: 1 when
+/// every sampled query's result matched the single-query oracle
+/// (WindowQuery / KnnQuery / sequential-join filter), 0 otherwise.
+FigureDoc RunServeThroughputFigure(const PaperWorkload& workload,
+                                   const ServeSweepOptions& options =
+                                       ServeSweepOptions());
+
+}  // namespace psj::report
+
+#endif  // PSJ_REPORT_SERVE_FIGURE_H_

@@ -1,0 +1,128 @@
+#ifndef PSJ_SERVE_QUERY_H_
+#define PSJ_SERVE_QUERY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "geo/rect.h"
+#include "rtree/rstar_tree.h"
+
+namespace psj::serve {
+
+/// The four query shapes the service accepts. Window and point probes are
+/// batched (their descents share one traversal per admission batch); k-probe
+/// and join-region queries execute individually but ride the same admission
+/// cycle, worker pool, deadline model, and stats.
+enum class QueryType : uint8_t {
+  kWindow,      // Object ids whose MBR intersects `rect`.
+  kPoint,       // Object ids whose MBR contains `point` (degenerate window).
+  kKnn,         // The k nearest data entries to `point` by MBR MINDIST.
+  kJoinRegion,  // Candidate pairs (r, s) whose MBR intersection meets `rect`.
+};
+
+/// Which of the service's two sealed trees a single-tree query runs against.
+/// Join-region queries always use both.
+enum class TreeTarget : uint8_t { kTreeR, kTreeS };
+
+std::string_view ToString(QueryType type);
+
+/// \brief One typed query request. Plain data: descriptors are copied into
+/// the admission queue, so a caller's descriptor has no lifetime ties to
+/// the service.
+struct QueryDescriptor {
+  QueryType type = QueryType::kWindow;
+  TreeTarget target = TreeTarget::kTreeR;
+  Rect rect = Rect::Empty();  // kWindow window / kJoinRegion region.
+  Point point{0.0, 0.0};      // kPoint / kKnn probe location.
+  uint32_t k = 0;             // kKnn result count.
+
+  /// Deadline budget in microseconds, measured from admission. Negative =
+  /// no deadline. Zero = already expired at the first check: the query is
+  /// admitted, then fails deadline at its first node visit — the edge the
+  /// deadline tests pin. Deadlines are checked at node-visit granularity
+  /// (before each k-probe, which is one indivisible library call).
+  int64_t deadline_micros = -1;
+
+  static QueryDescriptor Window(const Rect& window,
+                                TreeTarget target = TreeTarget::kTreeR) {
+    QueryDescriptor d;
+    d.type = QueryType::kWindow;
+    d.target = target;
+    d.rect = window;
+    return d;
+  }
+
+  static QueryDescriptor PointProbe(const Point& p,
+                                    TreeTarget target = TreeTarget::kTreeR) {
+    QueryDescriptor d;
+    d.type = QueryType::kPoint;
+    d.target = target;
+    d.point = p;
+    // The equivalent degenerate window; the batched descent treats points
+    // and windows uniformly through this rectangle.
+    d.rect = Rect(p.x, p.y, p.x, p.y);
+    return d;
+  }
+
+  static QueryDescriptor Knn(const Point& p, uint32_t k,
+                             TreeTarget target = TreeTarget::kTreeR) {
+    QueryDescriptor d;
+    d.type = QueryType::kKnn;
+    d.target = target;
+    d.point = p;
+    d.k = k;
+    return d;
+  }
+
+  static QueryDescriptor JoinRegion(const Rect& region) {
+    QueryDescriptor d;
+    d.type = QueryType::kJoinRegion;
+    d.rect = region;
+    return d;
+  }
+};
+
+/// Why a submission was turned away at the door (reject-with-reason
+/// backpressure; rejected queries never enter the queue and get no
+/// callback).
+enum class RejectReason : uint8_t {
+  kNone,       // Accepted.
+  kQueueFull,  // Admission queue at capacity.
+  kStopped,    // Service stopping or never started accepting.
+  kInvalid,    // Malformed descriptor (empty window, k = 0, ...).
+};
+
+std::string_view ToString(RejectReason reason);
+
+/// Terminal status of an admitted query.
+enum class QueryStatus : uint8_t {
+  kOk,
+  kDeadlineExceeded,  // Descent cut short; results are a partial subset.
+};
+
+std::string_view ToString(QueryStatus status);
+
+/// \brief The delivered result of one admitted query. Exactly one result is
+/// delivered per accepted submission, including during shutdown drain.
+struct QueryResult {
+  uint64_t query_id = 0;
+  QueryStatus status = QueryStatus::kOk;
+  /// False iff the deadline cut the descent short: `ids`/`pairs` then hold
+  /// whatever was emitted before expiry (a subset of the full answer).
+  bool complete = true;
+
+  std::vector<uint64_t> ids;                  // kWindow / kPoint hits.
+  std::vector<RStarTree::Neighbor> neighbors; // kKnn, ascending MINDIST.
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;  // kJoinRegion.
+
+  // Per-query serving stats (wall-clock microseconds).
+  int64_t queue_wait_micros = 0;  // Admission -> start of execution.
+  int64_t latency_micros = 0;     // Admission -> completion.
+  int64_t batch_size = 1;         // Queries in the executing batch.
+};
+
+}  // namespace psj::serve
+
+#endif  // PSJ_SERVE_QUERY_H_

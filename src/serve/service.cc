@@ -1,0 +1,350 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace psj::serve {
+
+std::string_view ToString(QueryType type) {
+  switch (type) {
+    case QueryType::kWindow: return "window";
+    case QueryType::kPoint: return "point";
+    case QueryType::kKnn: return "knn";
+    case QueryType::kJoinRegion: return "join-region";
+  }
+  return "?";
+}
+
+std::string_view ToString(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue-full";
+    case RejectReason::kStopped: return "stopped";
+    case RejectReason::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+std::string_view ToString(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "?";
+}
+
+namespace {
+
+bool DescriptorValid(const QueryDescriptor& d) {
+  switch (d.type) {
+    case QueryType::kWindow:
+    case QueryType::kJoinRegion:
+      return d.rect.IsValid();
+    case QueryType::kKnn:
+      return d.k > 0;
+    case QueryType::kPoint:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SpatialQueryService::SpatialQueryService(const RStarTree* tree_r,
+                                         const RStarTree* tree_s,
+                                         ServiceConfig config)
+    : tree_r_(tree_r),
+      tree_s_(tree_s),
+      config_(std::move(config)),
+      epoch_(std::chrono::steady_clock::now()) {
+  PSJ_CHECK(tree_r_ != nullptr && tree_s_ != nullptr);
+  PSJ_CHECK(tree_r_->soa() != nullptr && tree_s_->soa() != nullptr)
+      << "the service queries sealed trees; call RStarTree::Seal() first";
+  PSJ_CHECK_GT(config_.num_threads, 0);
+  PSJ_CHECK_GT(config_.max_batch, 0u);
+}
+
+SpatialQueryService::~SpatialQueryService() { Stop(); }
+
+int64_t SpatialQueryService::Clock() const {
+  if (config_.now_micros != nullptr) {
+    return config_.now_micros();
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void SpatialQueryService::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PSJ_CHECK(!stopping_) << "cannot restart a stopped service";
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  workers_.reserve(static_cast<size_t>(config_.num_threads));
+  for (int w = 0; w < config_.num_threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+void SpatialQueryService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  // Never-started services still honor the exactly-one-callback contract:
+  // drain whatever was queued on the calling thread.
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const size_t take = std::min(queue_.size(), config_.max_batch);
+      if (take == 0) {
+        break;
+      }
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    RunBatch(0, std::move(batch));
+  }
+}
+
+Submission SpatialQueryService::Submit(const QueryDescriptor& descriptor,
+                                       Callback callback) {
+  Submission submission;
+  RejectReason reason = RejectReason::kNone;
+  size_t depth = 0;
+  if (!DescriptorValid(descriptor)) {
+    reason = RejectReason::kInvalid;
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      reason = RejectReason::kStopped;
+    } else if (queue_.size() >= config_.queue_capacity) {
+      reason = RejectReason::kQueueFull;
+    } else {
+      Pending pending;
+      pending.id = next_id_++;
+      pending.descriptor = descriptor;
+      pending.callback = std::move(callback);
+      pending.admitted_us = Clock();
+      pending.deadline_us = descriptor.deadline_micros < 0
+                                ? -1
+                                : pending.admitted_us +
+                                      descriptor.deadline_micros;
+      submission.accepted = true;
+      submission.query_id = pending.id;
+      queue_.push_back(std::move(pending));
+      depth = queue_.size();
+    }
+  }
+  submission.reason = reason;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+    switch (reason) {
+      case RejectReason::kNone:
+        ++stats_.accepted;
+        stats_.peak_queue_depth = std::max(stats_.peak_queue_depth,
+                                           static_cast<int64_t>(depth));
+        break;
+      case RejectReason::kQueueFull: ++stats_.rejected_queue_full; break;
+      case RejectReason::kStopped: ++stats_.rejected_stopped; break;
+      case RejectReason::kInvalid: ++stats_.rejected_invalid; break;
+    }
+  }
+  if (submission.accepted) {
+    cv_.notify_one();
+  }
+  return submission;
+}
+
+QueryResult SpatialQueryService::Execute(const QueryDescriptor& descriptor) {
+  std::mutex m;
+  std::condition_variable done_cv;
+  bool done = false;
+  QueryResult out;
+  const Submission submission =
+      Submit(descriptor, [&](QueryResult result) {
+        std::lock_guard<std::mutex> lock(m);
+        out = std::move(result);
+        done = true;
+        done_cv.notify_one();
+      });
+  PSJ_CHECK(submission.accepted)
+      << "Execute rejected: " << ToString(submission.reason);
+  std::unique_lock<std::mutex> lock(m);
+  done_cv.wait(lock, [&] { return done; });
+  return out;
+}
+
+ServiceStats SpatialQueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void SpatialQueryService::WorkerLoop(int worker) {
+  std::vector<Pending> batch;
+  while (NextBatch(&batch)) {
+    RunBatch(worker, std::move(batch));
+    batch.clear();
+  }
+}
+
+bool SpatialQueryService::NextBatch(std::vector<Pending>* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return false;  // Stopping and fully drained.
+    }
+    if (config_.batching && config_.batch_window_micros > 0 &&
+        config_.now_micros == nullptr && !stopping_) {
+      // Hold the batch open until the oldest query has waited out the
+      // admission window (or the batch fills, or shutdown begins). The
+      // front may change while we sleep — another worker may claim it —
+      // so recompute the horizon every iteration.
+      while (!stopping_ && !queue_.empty() &&
+             queue_.size() < config_.max_batch) {
+        const auto until =
+            epoch_ + std::chrono::microseconds(queue_.front().admitted_us +
+                                               config_.batch_window_micros);
+        if (std::chrono::steady_clock::now() >= until) {
+          break;
+        }
+        cv_.wait_until(lock, until);
+      }
+      if (queue_.empty()) {
+        continue;  // Another worker drained it; wait again.
+      }
+    }
+    const size_t take = config_.batching
+                            ? std::min(queue_.size(), config_.max_batch)
+                            : 1;
+    batch->reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return true;
+  }
+}
+
+void SpatialQueryService::RunBatch(int worker, std::vector<Pending> batch) {
+  const int64_t start_us = Clock();
+  const size_t n = batch.size();
+  std::vector<QueryResult> results(n);
+
+  // The window/point subset per target tree shares one batched descent.
+  DescentStats descent_total;
+  for (const TreeTarget target : {TreeTarget::kTreeR, TreeTarget::kTreeS}) {
+    std::vector<size_t> members;
+    std::vector<Rect> windows;
+    std::vector<int64_t> deadlines;
+    for (size_t i = 0; i < n; ++i) {
+      const QueryDescriptor& d = batch[i].descriptor;
+      if ((d.type == QueryType::kWindow || d.type == QueryType::kPoint) &&
+          d.target == target) {
+        members.push_back(i);
+        windows.push_back(d.rect);
+        deadlines.push_back(batch[i].deadline_us);
+      }
+    }
+    if (members.empty()) {
+      continue;
+    }
+    const RStarTree& tree =
+        target == TreeTarget::kTreeR ? *tree_r_ : *tree_s_;
+    BatchWindowOutput out;
+    DescentStats descent;
+    BatchWindowQueries(tree, windows, deadlines,
+                       [this] { return Clock(); }, &out, &descent);
+    descent_total += descent;
+    for (size_t k = 0; k < members.size(); ++k) {
+      results[members[k]].ids = std::move(out.ids[k]);
+      results[members[k]].complete = out.complete[k];
+    }
+  }
+
+  // K-probes and join-region queries execute individually, in admission
+  // order, under the same deadline clock.
+  for (size_t i = 0; i < n; ++i) {
+    const Pending& pending = batch[i];
+    const QueryDescriptor& d = pending.descriptor;
+    if (d.type == QueryType::kKnn) {
+      // One indivisible library call: the deadline gates entry only.
+      if (pending.deadline_us >= 0 && Clock() >= pending.deadline_us) {
+        results[i].complete = false;
+      } else {
+        const RStarTree& tree =
+            d.target == TreeTarget::kTreeR ? *tree_r_ : *tree_s_;
+        results[i].neighbors = tree.KnnQuery(d.point, d.k);
+      }
+    } else if (d.type == QueryType::kJoinRegion) {
+      RegionJoinOutput out;
+      DescentStats descent;
+      RegionJoinQuery(*tree_r_, *tree_s_, d.rect, pending.deadline_us,
+                      [this] { return Clock(); }, &out, &descent);
+      descent_total += descent;
+      results[i].pairs = std::move(out.pairs);
+      results[i].complete = out.complete;
+    }
+  }
+
+  const int64_t end_us = Clock();
+  int64_t ok = 0;
+  int64_t expired = 0;
+  for (size_t i = 0; i < n; ++i) {
+    QueryResult& result = results[i];
+    result.query_id = batch[i].id;
+    result.status = result.complete ? QueryStatus::kOk
+                                    : QueryStatus::kDeadlineExceeded;
+    result.queue_wait_micros = start_us - batch[i].admitted_us;
+    result.latency_micros = end_us - batch[i].admitted_us;
+    result.batch_size = static_cast<int64_t>(n);
+    (result.complete ? ok : expired) += 1;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batches_executed;
+    stats_.batch_size.Record(static_cast<trace::TraceTime>(n));
+    if (n > 1) {
+      stats_.batched_queries += static_cast<int64_t>(n);
+    }
+    stats_.completed_ok += ok;
+    stats_.deadline_exceeded += expired;
+    stats_.descent += descent_total;
+    for (size_t i = 0; i < n; ++i) {
+      stats_.latency_us.Record(results[i].latency_micros);
+      stats_.queue_wait_us.Record(results[i].queue_wait_micros);
+    }
+    if (config_.trace != nullptr) {
+      config_.trace->Span(worker, trace::Category::kTask, "serve batch",
+                          start_us, end_us, static_cast<int64_t>(n),
+                          expired);
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (batch[i].callback != nullptr) {
+      batch[i].callback(std::move(results[i]));
+    }
+  }
+}
+
+}  // namespace psj::serve

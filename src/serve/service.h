@@ -1,0 +1,181 @@
+#ifndef PSJ_SERVE_SERVICE_H_
+#define PSJ_SERVE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rtree/rstar_tree.h"
+#include "serve/batch_descent.h"
+#include "serve/query.h"
+#include "trace/trace_sink.h"
+
+namespace psj::serve {
+
+/// Tuning knobs of one service instance.
+struct ServiceConfig {
+  /// Worker threads executing queries. Unlike the native join, the calling
+  /// thread is NOT a worker: submission and execution are decoupled, as in
+  /// a real server front end.
+  int num_threads = 1;
+
+  /// Admission queue bound. A Submit() arriving at a full queue is rejected
+  /// immediately with RejectReason::kQueueFull — bounded-queue backpressure
+  /// instead of unbounded latency collapse.
+  size_t queue_capacity = 4096;
+
+  /// Request batching: a worker takes every queued query (up to max_batch)
+  /// in one admission cycle and executes the window/point subset through
+  /// ONE shared tree descent (serve/batch_descent.h). Off = strictly
+  /// one-query-at-a-time execution, the ablation baseline of
+  /// bench/serve_qps.
+  bool batching = true;
+
+  /// With batching on and fewer than max_batch queries queued, a worker
+  /// holds its batch open until the oldest queued query has waited this
+  /// long, letting an admission window's arrivals coalesce. 0 = take
+  /// whatever is queued without waiting (pure load-driven batching).
+  int64_t batch_window_micros = 200;
+
+  /// Largest admission batch a single worker executes at once.
+  size_t max_batch = 256;
+
+  /// Optional event sink: one kTask span per executed batch on track
+  /// `worker`, wall-clock microseconds since Start(). Unlike the simulator
+  /// sinks this one is fed from concurrent workers, so the service
+  /// serializes writes behind its stats mutex. Null (default) disables.
+  trace::TraceSink* trace = nullptr;
+
+  /// Test hook: overrides the wall clock used for deadlines and latency
+  /// accounting (microseconds, arbitrary epoch). When set, workers also
+  /// skip the batch-window wait (the fake clock cannot drive a
+  /// condition-variable timeout), so batches take whatever is queued.
+  /// Null = std::chrono::steady_clock.
+  NowMicrosFn now_micros;
+};
+
+/// Outcome of one Submit() call.
+struct Submission {
+  bool accepted = false;
+  uint64_t query_id = 0;  // Valid when accepted.
+  RejectReason reason = RejectReason::kNone;
+};
+
+/// Monotone service-wide counters plus latency/batch histograms
+/// (trace::Histogram, the power-of-two-bucket machinery every simulated
+/// component reports through). A snapshot is internally consistent: it is
+/// taken under the stats lock.
+struct ServiceStats {
+  int64_t submitted = 0;            // All Submit() calls.
+  int64_t accepted = 0;
+  int64_t rejected_queue_full = 0;
+  int64_t rejected_stopped = 0;
+  int64_t rejected_invalid = 0;
+  int64_t completed_ok = 0;
+  int64_t deadline_exceeded = 0;    // Completed with complete = false.
+  int64_t batches_executed = 0;
+  int64_t batched_queries = 0;      // Queries served through batches > 1.
+  int64_t peak_queue_depth = 0;
+  DescentStats descent;             // Summed over every executed query.
+
+  trace::Histogram latency_us;      // Admission -> completion.
+  trace::Histogram queue_wait_us;   // Admission -> execution start.
+  trace::Histogram batch_size;      // One sample per executed batch.
+
+  double AvgBatchSize() const {
+    return batches_executed == 0
+               ? 0.0
+               : static_cast<double>(batch_size.sum()) /
+                     static_cast<double>(batches_executed);
+  }
+};
+
+/// \brief The high-QPS serving layer: typed queries over two shared sealed
+/// R*-trees, executed by a worker pool with request batching, bounded
+/// admission, and per-query deadlines.
+///
+/// Lifecycle: construct (trees must outlive the service and carry a valid
+/// SoA cache), Submit()/Execute() freely — submissions are queued even
+/// before Start() — then Stop(), which rejects new work, drains every
+/// queued query, and joins the workers. Every accepted query receives
+/// exactly one callback, on a worker thread; rejected submissions receive
+/// none.
+class SpatialQueryService {
+ public:
+  using Callback = std::function<void(QueryResult)>;
+
+  SpatialQueryService(const RStarTree* tree_r, const RStarTree* tree_s,
+                      ServiceConfig config = ServiceConfig());
+  ~SpatialQueryService();
+
+  SpatialQueryService(const SpatialQueryService&) = delete;
+  SpatialQueryService& operator=(const SpatialQueryService&) = delete;
+
+  /// Spawns the worker pool. Idempotent.
+  void Start();
+
+  /// Rejects new submissions, drains the queue, joins the workers.
+  /// Idempotent; called by the destructor.
+  void Stop();
+
+  /// Non-blocking admission. On acceptance the callback fires exactly once
+  /// from a worker thread; on rejection (full queue, stopped, invalid
+  /// descriptor) it never fires and the reason says why.
+  Submission Submit(const QueryDescriptor& descriptor, Callback callback);
+
+  /// Blocking convenience: Submit + wait for the result. The service must
+  /// be started (or be started concurrently) or this deadlocks by design.
+  /// PSJ_CHECK-fails if the submission is rejected.
+  QueryResult Execute(const QueryDescriptor& descriptor);
+
+  ServiceStats Stats() const;
+
+  int num_threads() const { return config_.num_threads; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    uint64_t id = 0;
+    QueryDescriptor descriptor;
+    Callback callback;
+    int64_t admitted_us = 0;   // Clock() at admission.
+    int64_t deadline_us = -1;  // Absolute, -1 = none.
+  };
+
+  int64_t Clock() const;
+
+  void WorkerLoop(int worker);
+
+  /// Pops the next admission batch (blocking; honors the batch window).
+  /// Returns false when the service is stopping and the queue is empty.
+  bool NextBatch(std::vector<Pending>* batch);
+
+  /// Executes one admission batch and delivers its callbacks.
+  void RunBatch(int worker, std::vector<Pending> batch);
+
+  const RStarTree* const tree_r_;
+  const RStarTree* const tree_s_;
+  const ServiceConfig config_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;   // Guarded by mu_.
+  bool stopping_ = false;       // Guarded by mu_.
+  uint64_t next_id_ = 1;        // Guarded by mu_.
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;          // Guarded by stats_mu_.
+
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+};
+
+}  // namespace psj::serve
+
+#endif  // PSJ_SERVE_SERVICE_H_

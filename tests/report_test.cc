@@ -102,6 +102,27 @@ TEST(GoldenDiffTest, RefusesCrossSchemaComparison) {
   EXPECT_EQ(report.values_compared, 0);
 }
 
+TEST(GoldenDiffTest, RefusesWallClockFamiliesEvenWithMatchingSchemas) {
+  // Wall-clock documents (native / serve sweeps) are host-dependent, so a
+  // same-schema golden comparison is refused outright — no value is ever
+  // exact-golden-gated for these families.
+  for (const std::string_view schema :
+       {report::kNativeFigureSchema, report::kServeFigureSchema}) {
+    ASSERT_TRUE(report::IsWallClockSchema(schema));
+    FigureDoc golden = SampleDoc();
+    golden.schema = std::string(schema);
+    FigureDoc current = golden;
+    current.series[0].points[1].y += 123.0;  // Would drift if compared.
+    const DriftReport report =
+        DiffAgainstGolden(golden, current, TolerancePolicy::Exact());
+    ASSERT_EQ(report.drifts.size(), 1u) << schema;
+    EXPECT_EQ(report.drifts[0].kind, Drift::Kind::kWallClockRefused);
+    EXPECT_EQ(report.values_compared, 0) << schema;
+    EXPECT_NE(report.Format().find("wall-clock-refused"), std::string::npos);
+  }
+  EXPECT_FALSE(report::IsWallClockSchema(report::kFigureSchema));
+}
+
 TEST(GoldenDiffTest, IdenticalDocsAreClean) {
   const FigureDoc doc = SampleDoc();
   const DriftReport report =

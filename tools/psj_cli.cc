@@ -6,6 +6,7 @@
 //   join       run a parallel spatial join over a persisted dataset
 //   window     run a parallel window query over one map
 //   knn        run a k-nearest-neighbor query over one map
+//   serve      drive the batched query service at a fixed offered load
 //   report     reproduce the paper's figures/tables, diff against goldens
 //
 // Datasets are addressed by a path prefix: generate writes
@@ -42,7 +43,9 @@
 #include "report/native_figure.h"
 #include "report/golden_diff.h"
 #include "report/markdown_report.h"
+#include "report/serve_figure.h"
 #include "report/speedup_profiler.h"
+#include "serve/load_gen.h"
 #include "storage/page_file.h"
 #include "trace/chrome_trace.h"
 #include "trace/flame.h"
@@ -523,6 +526,7 @@ int CmdReport(int argc, char** argv) {
   const bool check = BoolFlag(argc, argv, "check");
   const bool update_goldens = BoolFlag(argc, argv, "update-goldens");
   const bool with_native = BoolFlag(argc, argv, "native");
+  const bool with_serve = BoolFlag(argc, argv, "serve");
   const int jobs = IntFlag(argc, argv, "jobs", 0);
   if (scale <= 0.0) {
     std::fprintf(stderr, "error: --scale must be positive\n");
@@ -632,6 +636,31 @@ int CmdReport(int argc, char** argv) {
       std::fprintf(stderr,
                    "error: native engines diverged from the sequential "
                    "join\n");
+      return 1;
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  // The serving sweep is the second wall-clock family ("psj-serve-fig-v1"):
+  // rendered beside the figures, never golden-compared, but its sampled
+  // results are oracle-checked.
+  if (with_serve) {
+    std::fprintf(stderr,
+                 "[report] running serving throughput sweep (host has %d "
+                 "core(s))...\n",
+                 native::HostHardwareConcurrency());
+    report::ServeSweepOptions serve_options;
+    serve_options.scale = scale;
+    serve_options.duration_micros =
+        IntFlag(argc, argv, "serve-duration-ms", 500) * int64_t{1000};
+    report::FigureReportEntry entry;
+    entry.doc = report::RunServeThroughputFigure(**workload, serve_options);
+    entry.expectation = report::kServeExpectation;
+    const double* verified = entry.doc.FindScalar("verified");
+    if (verified == nullptr || *verified != 1.0) {
+      std::fprintf(stderr,
+                   "error: sampled serving results diverged from the "
+                   "single-query oracle\n");
       return 1;
     }
     entries.push_back(std::move(entry));
@@ -758,10 +787,77 @@ int CmdKnn(int argc, char** argv) {
   return 0;
 }
 
+// `serve`: drive the batched query service (src/serve) over a persisted
+// dataset with the open-loop generator and print sustained throughput and
+// exact latency percentiles. `--single` is the one-query-at-a-time
+// ablation; `--verify-every=N` oracle-checks every Nth accepted query.
+int CmdServe(int argc, char** argv) {
+  auto dataset = LoadDataset(StringFlag(argc, argv, "prefix", ""));
+  if (!dataset.has_value()) {
+    return 1;
+  }
+  serve::LoadGenOptions options;
+  options.offered_qps = DoubleFlag(argc, argv, "qps", 2000.0);
+  options.num_threads = IntFlag(argc, argv, "threads", 1);
+  options.batch_window_micros = IntFlag(argc, argv, "batch-window", 200);
+  options.duration_micros =
+      IntFlag(argc, argv, "duration-ms", 1000) * int64_t{1000};
+  options.batching = !BoolFlag(argc, argv, "single");
+  options.deadline_micros = IntFlag(argc, argv, "deadline-us", -1);
+  options.verify_every = IntFlag(argc, argv, "verify-every", 0);
+  if (options.offered_qps <= 0 || options.num_threads <= 0 ||
+      options.duration_micros <= 0) {
+    std::fprintf(stderr,
+                 "error: --qps, --threads and --duration-ms must be "
+                 "positive\n");
+    return 2;
+  }
+
+  std::printf("serving for %.1f s at %.0f offered qps (%s, %d worker(s), "
+              "window %lld us)...\n",
+              static_cast<double>(options.duration_micros) * 1e-6,
+              options.offered_qps,
+              options.batching ? "batched" : "single-query",
+              options.num_threads,
+              static_cast<long long>(options.batch_window_micros));
+  const serve::LoadGenResult result =
+      serve::RunOpenLoopLoad(dataset->tree_r, dataset->tree_s, options);
+  std::printf(
+      "sustained %.1f qps (offered %.1f)\n"
+      "queries: %lld submitted, %lld accepted, %lld rejected queue-full, "
+      "%lld ok, %lld deadline-exceeded\n"
+      "latency us: p50 %lld  p95 %lld  p99 %lld\n"
+      "avg batch %.2f, peak queue depth %lld\n"
+      "descent: %lld nodes visited, %lld node scans, %lld entry tests\n",
+      result.sustained_qps, result.offered_qps,
+      static_cast<long long>(result.submitted),
+      static_cast<long long>(result.accepted),
+      static_cast<long long>(result.rejected_queue_full),
+      static_cast<long long>(result.completed_ok),
+      static_cast<long long>(result.deadline_exceeded),
+      static_cast<long long>(result.p50_latency_us),
+      static_cast<long long>(result.p95_latency_us),
+      static_cast<long long>(result.p99_latency_us), result.avg_batch_size,
+      static_cast<long long>(result.peak_queue_depth),
+      static_cast<long long>(result.descent.nodes_visited),
+      static_cast<long long>(result.descent.node_scans),
+      static_cast<long long>(result.descent.entry_tests));
+  if (options.verify_every > 0) {
+    std::printf("oracle: %lld sampled, %lld mismatched\n",
+                static_cast<long long>(result.verified_queries),
+                static_cast<long long>(result.verify_failures));
+    if (result.verify_failures > 0) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: psj_cli <generate|inspect|join|window|knn|report> [--flags]\n"
+      "usage: psj_cli <generate|inspect|join|window|knn|serve|report> "
+      "[--flags]\n"
       "  generate --prefix=P [--objects=N] [--seed=S]\n"
       "  inspect  --prefix=P\n"
       "  join     --prefix=P [--variant=lsr|gsrr|gd|sn] [--processors=N]\n"
@@ -775,10 +871,14 @@ int Usage() {
       "  window   --prefix=P --rect=xl,yl,xu,yu [--processors=N]\n"
       "           [--backend=default|thread|fiber]\n"
       "  knn      --prefix=P --point=x,y [--k=N]\n"
+      "  serve    --prefix=P [--qps=F] [--threads=N] [--batch-window=US]\n"
+      "           [--duration-ms=N] [--single] [--deadline-us=N]\n"
+      "           [--verify-every=N]\n"
       "  report   [--figures=fig5,...] [--scale=F] [--jobs=N]\n"
       "           [--golden-dir=DIR] [--check | --update-goldens]\n"
       "           [--out-dir=DIR] [--cache-dir=DIR]\n"
-      "           [--native] [--native-repeats=N]\n");
+      "           [--native] [--native-repeats=N]\n"
+      "           [--serve] [--serve-duration-ms=N]\n");
   return 2;
 }
 
@@ -796,5 +896,6 @@ int main(int argc, char** argv) {
   if (command == "report") return psj::CmdReport(argc, argv);
   if (command == "window") return psj::CmdWindow(argc, argv);
   if (command == "knn") return psj::CmdKnn(argc, argv);
+  if (command == "serve") return psj::CmdServe(argc, argv);
   return psj::Usage();
 }

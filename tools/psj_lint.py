@@ -73,6 +73,9 @@ THREADING_ALLOWLIST_DIRS = (
     # trees, wall-clock timed by design. It shares no state with the
     # simulator beyond read-only trees and the pure task builder.
     "src/native/",
+    # The serving layer: a real worker pool with bounded admission queues
+    # and condition-variable batching over sealed (read-only) trees.
+    "src/serve/",
 )
 THREADING_TOKENS = [
     "std::thread",
@@ -237,6 +240,13 @@ def self_test():
         ("src/core/x.cc", "steady_clock::now();\n", "no-wall-clock"),
         # Wall clocks are legal outside src/sim + src/core (native included).
         ("src/native/x.cc", "steady_clock::now();\n", None),
+        # The serving layer is allowlisted for threading and wall clocks…
+        ("src/serve/x.cc", "#include <thread>\nstd::mutex mu;\n", None),
+        ("src/serve/x.cc", "steady_clock::now();\n", None),
+        # …but the allowlist is the directory, not the prefix string…
+        ("src/serve_like.cc", "#include <thread>\n", "no-host-threading"),
+        # …and only for threading: mutable globals stay banned there.
+        ("src/serve/x.cc", "static int hits = 0;\n", "no-mutable-globals"),
         ("src/join/x.cc", "// std::thread only in a comment\n", None),
         # Raw x86 intrinsics live only under src/geo/; everyone else goes
         # through the wrappers there.
