@@ -25,8 +25,11 @@ std::atomic<uint64_t> g_alloc_bytes{0};
 }  // namespace
 
 void* operator new(std::size_t size) {
+  // order: relaxed — single-threaded bench; counters are plain tallies with
+  // no publication role (atomics only because operator new must be
+  // thread-safe by contract).
   g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
-  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);  // order: as above
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
@@ -43,9 +46,11 @@ struct AllocStats {
 
 template <typename Fn>
 AllocStats CountAllocs(Fn&& fn) {
+  // order: relaxed — same thread as every fetch_add (see operator new).
   const uint64_t c0 = g_alloc_calls.load(std::memory_order_relaxed);
-  const uint64_t b0 = g_alloc_bytes.load(std::memory_order_relaxed);
+  const uint64_t b0 = g_alloc_bytes.load(std::memory_order_relaxed);  // order: ditto
   fn();
+  // order: relaxed — same thread as the increments being counted.
   return AllocStats{g_alloc_calls.load(std::memory_order_relaxed) - c0,
                     g_alloc_bytes.load(std::memory_order_relaxed) - b0};
 }

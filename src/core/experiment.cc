@@ -200,6 +200,9 @@ std::vector<StatusOr<JoinResult>> ExperimentDriver::RunAll(
   std::atomic<size_t> next{0};
   const auto worker = [&join, &configs, &results, &next, &skip] {
     for (;;) {
+      // order: relaxed — the cursor only partitions the config index space;
+      // each results[i] slot is written by exactly one worker and read by
+      // the caller after join().
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= configs.size()) {
         return;

@@ -141,6 +141,9 @@ NativeJoinResult PartitionSweepJoin(const std::vector<RTreeEntry>& entries_r,
   auto worker_body = [&](int id) {
     TileWorkerState& w = workers[static_cast<size_t>(id)];
     for (;;) {
+      // order: relaxed — the cursor only partitions the tile index space;
+      // the tiles themselves are immutable (published by thread creation)
+      // and per-worker outputs are merged after join().
       const size_t tile = next_tile.fetch_add(1, std::memory_order_relaxed);
       if (tile >= num_tiles) {
         return;

@@ -6,6 +6,7 @@
 #include "join/sequential_join.h"
 #include "native/native_join.h"
 #include "native/partition_join.h"
+#include "native/work_pool.h"
 #include "util/check.h"
 
 namespace psj::report {
@@ -135,6 +136,10 @@ FigureDoc RunNativeSpeedupFigure(const PaperWorkload& workload,
       {"verified", verified ? 1.0 : 0.0},
       {"rtree_num_tasks", static_cast<double>(rtree_num_tasks)},
       {"partition_num_tiles", static_cast<double>(partition_num_tiles)},
+      // Which synchronization regime these timings measured (the rev 1 →
+      // rev 2 memory-order audit is described at the constant's
+      // definition in native/work_pool.h).
+      {"work_pool_atomics_rev", static_cast<double>(native::kWorkPoolAtomicsRev)},
   };
   AppendEngineSeries(doc, "rtree", options.thread_counts, rtree_curves);
   AppendEngineSeries(doc, "partition", options.thread_counts,

@@ -65,6 +65,8 @@ size_t RStarTree::MinFillFor(int level) const {
 }
 
 uint32_t RStarTree::AllocateNode(RTreeNode node) {
+  PSJ_DCHECK_PHASE(phase_ == TreePhase::kMutable)
+      << "AllocateNode on a sealed tree; call Thaw() before mutating";
   soa_valid_ = false;
   if (!free_pages_.empty()) {
     const uint32_t page_no = free_pages_.back();
@@ -80,6 +82,8 @@ uint32_t RStarTree::AllocateNode(RTreeNode node) {
 }
 
 void RStarTree::FreeNode(uint32_t page_no) {
+  PSJ_DCHECK_PHASE(phase_ == TreePhase::kMutable)
+      << "FreeNode on a sealed tree; call Thaw() before mutating";
   PSJ_CHECK_GT(page_no, 0u);
   PSJ_CHECK(!is_free_[page_no]);
   soa_valid_ = false;
@@ -95,6 +99,8 @@ const RTreeNode& RStarTree::node(uint32_t page_no) const {
 }
 
 RTreeNode& RStarTree::mutable_node(uint32_t page_no) {
+  PSJ_DCHECK_PHASE(phase_ == TreePhase::kMutable)
+      << "mutable_node on a sealed tree; call Thaw() before mutating";
   PSJ_CHECK_LT(page_no, nodes_.size());
   PSJ_CHECK(!is_free_[page_no]);
   soa_valid_ = false;
@@ -107,6 +113,7 @@ void RStarTree::Seal() {
   }
   soa_cache_.Build(nodes_, is_free_);
   soa_valid_ = true;
+  phase_ = TreePhase::kSealed;
 }
 
 void RStarTree::CompactEntryStorage() {

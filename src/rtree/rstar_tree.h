@@ -127,7 +127,24 @@ class RStarTree {
   /// later mutation invalidates the cache — soa() returns null again —
   /// until the next Seal(). Sealing changes no query result: consumers fall
   /// back to the entry arrays when the cache is absent, bit-identically.
+  ///
+  /// Sealing also enters the kSealed phase of the tree's lifecycle: every
+  /// structural mutation (Insert/Delete and the private doorways they go
+  /// through) PSJ_DCHECK_PHASE-fails until Thaw() re-enters kMutable. The
+  /// phase contract is what lets the shared-tree consumers (native join
+  /// workers, the serving layer) read the tree concurrently without locks;
+  /// tools/psj_lint.py's `sealed-phase` rule checks call sites statically.
   void Seal();
+
+  /// Re-enters the mutable phase after a Seal(), declaring the intent to
+  /// mutate. No structural effect: the SoA cache stays valid until an
+  /// actual mutation clears it. Callers must guarantee no concurrent
+  /// readers exist — thawing a tree other threads are querying is a race.
+  void Thaw() { phase_ = TreePhase::kMutable; }
+
+  /// Lifecycle phase (see Seal()/Thaw()).
+  enum class TreePhase { kMutable, kSealed };
+  TreePhase phase() const { return phase_; }
 
   /// The SoA image of every node, or null if the tree was mutated since the
   /// last Seal() (or never sealed).
@@ -233,6 +250,8 @@ class RStarTree {
   /// The cache matches nodes_; cleared by every mutation doorway
   /// (mutable_node / AllocateNode / FreeNode), set only by Seal().
   bool soa_valid_ = false;
+  /// Lifecycle phase; mutation doorways PSJ_DCHECK_PHASE it is kMutable.
+  TreePhase phase_ = TreePhase::kMutable;
 };
 
 }  // namespace psj

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <random>
 #include <thread>
 #include <utility>
@@ -11,6 +10,7 @@
 #include "join/sequential_join.h"
 #include "serve/batch_descent.h"
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace psj::serve {
 namespace {
@@ -180,7 +180,10 @@ LoadGenResult RunOpenLoopLoad(const RStarTree& tree_r, const RStarTree& tree_s,
 
   QueryStream stream(tree_r.root_mbr().UnionWith(tree_s.root_mbr()), options);
 
-  std::mutex mu;
+  // Guards latencies/samples, written from concurrent worker callbacks.
+  // Local state, so PSJ_GUARDED_BY cannot attach; the util::Mutex still
+  // keeps the locking idiom uniform across the serve layer.
+  util::Mutex mu;
   std::vector<int64_t> latencies;
   latencies.reserve(static_cast<size_t>(
       options.offered_qps * 1e-6 * static_cast<double>(options.duration_micros) +
@@ -217,7 +220,7 @@ LoadGenResult RunOpenLoopLoad(const RStarTree& tree_r, const RStarTree& tree_s,
     Submission submission = service.Submit(
         descriptor, [&mu, &latencies, &samples, descriptor,
                      sampled](QueryResult result) {
-          std::lock_guard<std::mutex> lock(mu);
+          util::MutexLock lock(&mu);
           latencies.push_back(result.latency_micros);
           if (sampled) {
             samples.push_back(Sample{descriptor, std::move(result)});

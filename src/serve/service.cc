@@ -78,7 +78,7 @@ int64_t SpatialQueryService::Clock() const {
 }
 
 void SpatialQueryService::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   PSJ_CHECK(!stopping_) << "cannot restart a stopped service";
   if (started_) {
     return;
@@ -91,24 +91,28 @@ void SpatialQueryService::Start() {
 }
 
 void SpatialQueryService::Stop() {
+  // The stopping_ flip under mu_ elects exactly one joiner, which takes
+  // ownership of the worker handles while still holding the lock.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (stopping_) {
       return;
     }
     stopping_ = true;
+    workers = std::move(workers_);
+    workers_.clear();
   }
-  cv_.notify_all();
-  for (std::thread& worker : workers_) {
+  cv_.NotifyAll();
+  for (std::thread& worker : workers) {
     worker.join();
   }
-  workers_.clear();
   // Never-started services still honor the exactly-one-callback contract:
   // drain whatever was queued on the calling thread.
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       const size_t take = std::min(queue_.size(), config_.max_batch);
       if (take == 0) {
         break;
@@ -131,7 +135,7 @@ Submission SpatialQueryService::Submit(const QueryDescriptor& descriptor,
   if (!DescriptorValid(descriptor)) {
     reason = RejectReason::kInvalid;
   } else {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (stopping_) {
       reason = RejectReason::kStopped;
     } else if (queue_.size() >= config_.queue_capacity) {
@@ -154,7 +158,7 @@ Submission SpatialQueryService::Submit(const QueryDescriptor& descriptor,
   }
   submission.reason = reason;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::MutexLock lock(&stats_mu_);
     ++stats_.submitted;
     switch (reason) {
       case RejectReason::kNone:
@@ -168,32 +172,32 @@ Submission SpatialQueryService::Submit(const QueryDescriptor& descriptor,
     }
   }
   if (submission.accepted) {
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
   return submission;
 }
 
 QueryResult SpatialQueryService::Execute(const QueryDescriptor& descriptor) {
-  std::mutex m;
-  std::condition_variable done_cv;
+  util::Mutex m;
+  util::CondVar done_cv;
   bool done = false;
   QueryResult out;
   const Submission submission =
       Submit(descriptor, [&](QueryResult result) {
-        std::lock_guard<std::mutex> lock(m);
+        util::MutexLock lock(&m);
         out = std::move(result);
         done = true;
-        done_cv.notify_one();
+        done_cv.NotifyOne();
       });
   PSJ_CHECK(submission.accepted)
       << "Execute rejected: " << ToString(submission.reason);
-  std::unique_lock<std::mutex> lock(m);
-  done_cv.wait(lock, [&] { return done; });
+  util::MutexLock lock(&m);
+  done_cv.Wait(m, [&] { return done; });
   return out;
 }
 
 ServiceStats SpatialQueryService::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  util::MutexLock lock(&stats_mu_);
   return stats_;
 }
 
@@ -206,9 +210,11 @@ void SpatialQueryService::WorkerLoop(int worker) {
 }
 
 bool SpatialQueryService::NextBatch(std::vector<Pending>* batch) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (;;) {
-    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    while (!stopping_ && queue_.empty()) {
+      cv_.Wait(mu_);
+    }
     if (queue_.empty()) {
       return false;  // Stopping and fully drained.
     }
@@ -226,7 +232,7 @@ bool SpatialQueryService::NextBatch(std::vector<Pending>* batch) {
         if (std::chrono::steady_clock::now() >= until) {
           break;
         }
-        cv_.wait_until(lock, until);
+        cv_.WaitUntil(mu_, until);
       }
       if (queue_.empty()) {
         continue;  // Another worker drained it; wait again.
@@ -320,7 +326,7 @@ void SpatialQueryService::RunBatch(int worker, std::vector<Pending> batch) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::MutexLock lock(&stats_mu_);
     ++stats_.batches_executed;
     stats_.batch_size.Record(static_cast<trace::TraceTime>(n));
     if (n > 1) {

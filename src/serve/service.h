@@ -2,11 +2,9 @@
 #define PSJ_SERVE_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -14,6 +12,8 @@
 #include "serve/batch_descent.h"
 #include "serve/query.h"
 #include "trace/trace_sink.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace psj::serve {
 
@@ -138,6 +138,18 @@ class SpatialQueryService {
   int num_threads() const { return config_.num_threads; }
   const ServiceConfig& config() const { return config_; }
 
+  // -- Locked introspection (tests and the annotations_compile_fail suite) --
+
+  /// The admission-queue capability; lock it before QueueDepthLocked().
+  util::Mutex& admission_mutex() const PSJ_RETURN_CAPABILITY(mu_) {
+    return mu_;
+  }
+
+  /// Queued-but-unexecuted queries; callers must hold admission_mutex().
+  /// Under the analyze preset an unlocked call is a compile error — this is
+  /// the seeded-violation surface of tests/annotations_compile_fail/.
+  size_t QueueDepthLocked() const PSJ_REQUIRES(mu_) { return queue_.size(); }
+
  private:
   struct Pending {
     uint64_t id = 0;
@@ -153,27 +165,31 @@ class SpatialQueryService {
 
   /// Pops the next admission batch (blocking; honors the batch window).
   /// Returns false when the service is stopping and the queue is empty.
-  bool NextBatch(std::vector<Pending>* batch);
+  bool NextBatch(std::vector<Pending>* batch) PSJ_EXCLUDES(mu_);
 
   /// Executes one admission batch and delivers its callbacks.
-  void RunBatch(int worker, std::vector<Pending> batch);
+  void RunBatch(int worker, std::vector<Pending> batch)
+      PSJ_EXCLUDES(mu_, stats_mu_);
 
   const RStarTree* const tree_r_;
   const RStarTree* const tree_s_;
   const ServiceConfig config_;
   const std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;   // Guarded by mu_.
-  bool stopping_ = false;       // Guarded by mu_.
-  uint64_t next_id_ = 1;        // Guarded by mu_.
+  /// Admission state. Lock order: mu_ before stats_mu_ is never needed —
+  /// no path holds both; the annotations keep it that way.
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<Pending> queue_ PSJ_GUARDED_BY(mu_);
+  bool stopping_ PSJ_GUARDED_BY(mu_) = false;
+  uint64_t next_id_ PSJ_GUARDED_BY(mu_) = 1;
+  /// Worker threads: spawned by Start() under mu_, moved out and joined by
+  /// the single Stop() winner (elected by the stopping_ flip under mu_).
+  std::vector<std::thread> workers_ PSJ_GUARDED_BY(mu_);
+  bool started_ PSJ_GUARDED_BY(mu_) = false;
 
-  mutable std::mutex stats_mu_;
-  ServiceStats stats_;          // Guarded by stats_mu_.
-
-  std::vector<std::thread> workers_;
-  bool started_ = false;
+  mutable util::Mutex stats_mu_;
+  ServiceStats stats_ PSJ_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace psj::serve

@@ -86,8 +86,10 @@ Process::Process(Scheduler* scheduler, int id,
 void Process::ThreadMain() {
   {
     // Wait for the scheduler to select this process for the first time.
-    std::unique_lock<std::mutex> lock(scheduler_->mu_);
-    cv_.wait(lock, [this] { return state_ == State::kRunning; });
+    util::MutexLock lock(&scheduler_->mu_);
+    while (state_ != State::kRunning) {
+      cv_.Wait(scheduler_->mu_);
+    }
     now_ = resume_time_;
   }
   body_(*this);
@@ -96,10 +98,10 @@ void Process::ThreadMain() {
                                 now_);
   }
   {
-    std::unique_lock<std::mutex> lock(scheduler_->mu_);
+    util::MutexLock lock(&scheduler_->mu_);
     state_ = State::kFinished;
     --scheduler_->num_live_;
-    scheduler_->EnterScheduler(lock);
+    scheduler_->EnterScheduler();
   }
 }
 
@@ -127,18 +129,14 @@ void Process::YieldUntil(SimTime t) {
       << "sim primitive called outside the running process";
   t = std::max(now_, t);
   if (scheduler_->backend_ == SchedulerBackend::kFiber) {
-    if (scheduler_->FastPathYield(this, t)) {
-      now_ = t;
-      return;
-    }
-    resume_time_ = t;
-    state_ = State::kReady;
-    scheduler_->PushReady(this);
-    scheduler_->FiberDispatchFrom(this);
-    now_ = resume_time_;
-    return;
+    YieldUntilFiber(t);
+  } else {
+    YieldUntilThread(t);
   }
-  std::unique_lock<std::mutex> lock(scheduler_->mu_);
+}
+
+void Process::YieldUntilThread(SimTime t) {
+  util::MutexLock lock(&scheduler_->mu_);
   if (scheduler_->FastPathYield(this, t)) {
     now_ = t;
     return;
@@ -146,42 +144,71 @@ void Process::YieldUntil(SimTime t) {
   resume_time_ = t;
   state_ = State::kReady;
   scheduler_->PushReady(this);
-  scheduler_->EnterScheduler(lock);
-  cv_.wait(lock, [this] { return state_ == State::kRunning; });
+  scheduler_->EnterScheduler();
+  while (state_ != State::kRunning) {
+    cv_.Wait(scheduler_->mu_);
+  }
+  now_ = resume_time_;
+}
+
+void Process::YieldUntilFiber(SimTime t) {
+  if (scheduler_->FastPathYield(this, t)) {
+    now_ = t;
+    return;
+  }
+  resume_time_ = t;
+  state_ = State::kReady;
+  scheduler_->PushReady(this);
+  scheduler_->FiberDispatchFrom(this);
   now_ = resume_time_;
 }
 
 SimTime Process::Block() {
   PSJ_CHECK(state_ == State::kRunning)
       << "sim primitive called outside the running process";
-  if (scheduler_->backend_ == SchedulerBackend::kFiber) {
-    state_ = State::kBlocked;
-    scheduler_->FiberDispatchFrom(this);
-    now_ = resume_time_;
-    return now_;
-  }
-  std::unique_lock<std::mutex> lock(scheduler_->mu_);
+  return scheduler_->backend_ == SchedulerBackend::kFiber ? BlockFiber()
+                                                          : BlockThread();
+}
+
+SimTime Process::BlockThread() {
+  util::MutexLock lock(&scheduler_->mu_);
   state_ = State::kBlocked;
-  scheduler_->EnterScheduler(lock);
-  cv_.wait(lock, [this] { return state_ == State::kRunning; });
+  scheduler_->EnterScheduler();
+  while (state_ != State::kRunning) {
+    cv_.Wait(scheduler_->mu_);
+  }
+  now_ = resume_time_;
+  return now_;
+}
+
+SimTime Process::BlockFiber() {
+  state_ = State::kBlocked;
+  scheduler_->FiberDispatchFrom(this);
   now_ = resume_time_;
   return now_;
 }
 
 bool Process::MakeReadyIfBlocked(SimTime t) {
-  if (scheduler_->backend_ == SchedulerBackend::kFiber) {
-    if (state_ != State::kBlocked) {
-      return false;
-    }
-    state_ = State::kReady;
-    resume_time_ = std::max(now_, t);
-    scheduler_->PushReady(this);
-    return true;
-  }
+  return scheduler_->backend_ == SchedulerBackend::kFiber
+             ? MakeReadyIfBlockedFiber(t)
+             : MakeReadyIfBlockedThread(t);
+}
+
+bool Process::MakeReadyIfBlockedThread(SimTime t) {
   // Although only the single running process mutates scheduler state, the
   // blocked target thread re-evaluates its condition-variable predicate
   // under the scheduler mutex, so the state transition must hold it too.
-  std::unique_lock<std::mutex> lock(scheduler_->mu_);
+  util::MutexLock lock(&scheduler_->mu_);
+  if (state_ != State::kBlocked) {
+    return false;
+  }
+  state_ = State::kReady;
+  resume_time_ = std::max(now_, t);
+  scheduler_->PushReady(this);
+  return true;
+}
+
+bool Process::MakeReadyIfBlockedFiber(SimTime t) {
   if (state_ != State::kBlocked) {
     return false;
   }
@@ -320,27 +347,39 @@ std::string Scheduler::DescribeLiveProcesses() const {
   return out;
 }
 
+void Scheduler::RegisterSpawned(Process* p, uint64_t tiebreak_key) {
+  p->state_ = Process::State::kReady;
+  p->resume_time_ = 0;
+  p->tiebreak_key_ = tiebreak_key;
+  PushReady(p);
+  ++num_live_;
+}
+
 Process* Scheduler::Spawn(std::function<void(Process&)> body) {
   PSJ_CHECK(!started_) << "Spawn() after Run() is not supported";
   const int id = static_cast<int>(processes_.size());
   processes_.push_back(
       std::unique_ptr<Process>(new Process(this, id, std::move(body))));
   Process* p = processes_.back().get();
-  // The thread backend's freshly started process thread reads state_ under
-  // the scheduler mutex; the fiber backend is single-threaded.
-  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  const uint64_t key = tiebreak_.seeded
+                           ? Mix64(tiebreak_.seed ^
+                                   (static_cast<uint64_t>(id) + 1))
+                           : static_cast<uint64_t>(id);
   if (backend_ == SchedulerBackend::kThread) {
-    lock.lock();
+    // The freshly started process thread reads state_ under the scheduler
+    // mutex, so registration must hold it.
+    util::MutexLock lock(&mu_);
+    RegisterSpawned(p, key);
+  } else {
+    RegisterSpawnedFiber(p, key);
   }
-  p->state_ = Process::State::kReady;
-  p->resume_time_ = 0;
-  p->tiebreak_key_ = tiebreak_.seeded
-                         ? Mix64(tiebreak_.seed ^
-                                 (static_cast<uint64_t>(id) + 1))
-                         : static_cast<uint64_t>(id);
-  PushReady(p);
-  ++num_live_;
   return p;
+}
+
+void Scheduler::RegisterSpawnedFiber(Process* p, uint64_t tiebreak_key) {
+  // Fiber backend: no process runs until Run(), and all fibers share this
+  // OS thread — registration is single-threaded by construction.
+  RegisterSpawned(p, tiebreak_key);
 }
 
 void Scheduler::Run() {
@@ -361,15 +400,15 @@ void Scheduler::Run() {
 // Thread backend
 // ---------------------------------------------------------------------------
 
-void Scheduler::EnterScheduler(std::unique_lock<std::mutex>& lock) {
+void Scheduler::EnterScheduler() {
   running_ = nullptr;
-  cv_.notify_one();  // Only the scheduler loop waits on this variable.
-  (void)lock;  // The caller keeps the lock; the scheduler loop observes
-               // running_ == nullptr under it.
+  cv_.NotifyOne();  // Only the scheduler loop waits on this variable. The
+                    // caller keeps holding mu_; the scheduler loop observes
+                    // running_ == nullptr under it.
 }
 
 void Scheduler::RunThreadBackend() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (;;) {
     if (num_live_ == 0) {
       break;  // All processes finished.
@@ -378,8 +417,10 @@ void Scheduler::RunThreadBackend() {
         << "simulation deadlock: live processes exist but none is ready\n"
         << DescribeLiveProcesses();
     Process* next = TakeNextReady();
-    next->cv_.notify_one();
-    cv_.wait(lock, [this] { return running_ == nullptr; });
+    next->cv_.NotifyOne();
+    while (running_ != nullptr) {
+      cv_.Wait(mu_);
+    }
   }
 }
 

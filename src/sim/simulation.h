@@ -1,12 +1,10 @@
 #ifndef PSJ_SIM_SIMULATION_H_
 #define PSJ_SIM_SIMULATION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -17,6 +15,8 @@
 #include "sim/fiber_context.h"
 #include "trace/trace_sink.h"
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace psj::sim {
 
@@ -161,11 +161,27 @@ class Process {
 
   /// Parks this process with resume time `t` and hands control to the next
   /// ready process (or the scheduler); returns when selected again, with
-  /// now_ == resume_time_.
+  /// now_ == resume_time_. Dispatches to the backend-specific variant.
   void YieldUntil(SimTime t);
 
+  /// Thread-backend variants: every scheduler-state access happens under the
+  /// scheduler mutex and is checked by the thread-safety analysis.
+  void YieldUntilThread(SimTime t);
+  SimTime BlockThread();
+  bool MakeReadyIfBlockedThread(SimTime t);
+
+  /// Fiber-backend variants. Analysis is off: every process and the
+  /// scheduler loop share ONE OS thread (cooperative stackful fibers), so
+  /// the scheduler state is single-threaded by construction — a regime the
+  /// static lock analysis cannot express. The thread backend runs the same
+  /// dispatch decisions under full checking, and TSan CI exercises it.
+  void YieldUntilFiber(SimTime t) PSJ_NO_THREAD_SAFETY_ANALYSIS;
+  SimTime BlockFiber() PSJ_NO_THREAD_SAFETY_ANALYSIS;
+  bool MakeReadyIfBlockedFiber(SimTime t) PSJ_NO_THREAD_SAFETY_ANALYSIS;
+
   void ThreadMain();
-  void FiberBody();
+  /// Single OS thread by construction; see the fiber variants above.
+  void FiberBody() PSJ_NO_THREAD_SAFETY_ANALYSIS;
   static void FiberEntry(void* self);
 
   Scheduler* const scheduler_;
@@ -179,9 +195,10 @@ class Process {
   uint64_t tiebreak_key_ = 0;
 
   // --- Thread backend only ---
-  // Per-process wakeup channel: the scheduler signals exactly the process
-  // it selected, avoiding a thundering herd on every handoff.
-  std::condition_variable cv_;
+  // Per-process wakeup channel (paired with the scheduler's mutex): the
+  // scheduler signals exactly the process it selected, avoiding a
+  // thundering herd on every handoff.
+  util::CondVar cv_;
   std::thread thread_;
 
   // --- Fiber backend only ---
@@ -254,44 +271,56 @@ class Scheduler {
   friend class Process;
 
   // ---- Backend-independent ready-heap core ----
+  //
+  // Under the thread backend the callers below hold mu_ (checked); the
+  // fiber backend calls them from PSJ_NO_THREAD_SAFETY_ANALYSIS contexts,
+  // where the single-OS-thread regime makes the lock unnecessary.
 
   /// True (and counts the yield) when `p` may simply continue running
   /// because no ready process precedes (t, p->id). Never true for t in the
   /// past relative to the heap top.
-  bool FastPathYield(const Process* p, SimTime t);
-  void PushReady(Process* p);
+  bool FastPathYield(const Process* p, SimTime t) PSJ_REQUIRES(mu_);
+  void PushReady(Process* p) PSJ_REQUIRES(mu_);
   /// Pops the minimal ready process and marks it running.
-  Process* TakeNextReady();
+  Process* TakeNextReady() PSJ_REQUIRES(mu_);
   /// Multi-line listing of every live process (deadlock diagnostic).
-  std::string DescribeLiveProcesses() const;
+  std::string DescribeLiveProcesses() const PSJ_REQUIRES(mu_);
+  /// Marks a freshly spawned process ready and enqueues it.
+  void RegisterSpawned(Process* p, uint64_t tiebreak_key) PSJ_REQUIRES(mu_);
+  /// Fiber-backend registration: single OS thread, no lock (see above).
+  void RegisterSpawnedFiber(Process* p, uint64_t tiebreak_key)
+      PSJ_NO_THREAD_SAFETY_ANALYSIS;
 
   // ---- Thread backend ----
 
-  void RunThreadBackend();
+  void RunThreadBackend() PSJ_EXCLUDES(mu_);
   // Transfers control from the running process back to the scheduler loop.
-  // Called by Process::YieldUntil / Block / ThreadMain with state already
-  // updated.
-  void EnterScheduler(std::unique_lock<std::mutex>& lock);
+  // Called by Process::YieldUntilThread / BlockThread / ThreadMain with the
+  // process state already updated; the caller keeps holding mu_ and then
+  // waits on its per-process condition variable.
+  void EnterScheduler() PSJ_REQUIRES(mu_);
 
-  // ---- Fiber backend ----
+  // ---- Fiber backend (one OS thread; see Process's fiber variants) ----
 
-  void RunFiberBackend();
+  void RunFiberBackend() PSJ_NO_THREAD_SAFETY_ANALYSIS;
   /// Hands control from `self` (already parked: re-queued, blocked, or
   /// finished) to the next ready fiber, or back to Run()'s context when
   /// the heap is empty. Returns when `self` is dispatched again.
-  void FiberDispatchFrom(Process* self);
+  void FiberDispatchFrom(Process* self) PSJ_NO_THREAD_SAFETY_ANALYSIS;
 
   const SchedulerBackend backend_;
   const TieBreak tiebreak_;
-  std::mutex mu_;  // Thread backend only; handoff synchronization.
-  std::condition_variable cv_;
+  /// Thread backend: handoff synchronization. The fiber backend never locks
+  /// it — all fiber code shares one OS thread (see the PSJ_NO_* escapes).
+  util::Mutex mu_;
+  util::CondVar cv_;  // Scheduler loop's wakeup; paired with mu_.
   std::vector<std::unique_ptr<Process>> processes_;
   /// Binary min-heap on (resume_time, id); contains exactly the kReady
   /// processes.
-  std::vector<Process*> ready_heap_;
-  Process* running_ = nullptr;
+  std::vector<Process*> ready_heap_ PSJ_GUARDED_BY(mu_);
+  Process* running_ PSJ_GUARDED_BY(mu_) = nullptr;
   FiberContext main_context_;  // Fiber backend: Run()'s own context.
-  int num_live_ = 0;
+  int num_live_ PSJ_GUARDED_BY(mu_) = 0;
   bool started_ = false;
   SimTime end_time_ = 0;
   int64_t num_dispatches_ = 0;

@@ -69,4 +69,23 @@ class CheckVoidify {
         << psj_check_ok_status_.ToString();                  \
   } while (false)
 
+/// Debug-only checks: enabled in builds without NDEBUG and in any build
+/// configured with -DPSJ_ENABLE_DCHECKS=ON (the sanitize/tsan/analyze
+/// presets set it so RelWithDebInfo CI still executes them). Disabled, the
+/// condition is not evaluated but still parsed and type-checked, so it
+/// cannot rot.
+#if defined(PSJ_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define PSJ_DCHECK_IS_ON 1
+#define PSJ_DCHECK(condition) PSJ_CHECK(condition)
+#else
+#define PSJ_DCHECK_IS_ON 0
+#define PSJ_DCHECK(condition) PSJ_CHECK(true || (condition))
+#endif
+
+/// Sealed-state phase contract (DESIGN.md §14): guards the mutation
+/// doorways of RStarTree so a Seal()ed tree cannot be structurally modified
+/// without an intervening Thaw(). A distinct name so violations read as
+/// phase errors, not generic invariant failures.
+#define PSJ_DCHECK_PHASE(condition) PSJ_DCHECK(condition)
+
 #endif  // PSJ_UTIL_CHECK_H_

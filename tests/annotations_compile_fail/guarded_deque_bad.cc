@@ -1,0 +1,12 @@
+// Seeded violation: reads the work pool's dynamic-assignment queue — a
+// member PSJ_GUARDED_BY(shared_mu_) — without holding the lock. Under
+// clang -Wthread-safety -Werror this translation unit MUST fail to
+// compile ("requires holding mutex 'pool.shared_mu_'"); if it ever
+// compiles there, the analyze gate has stopped biting.
+#include <cstddef>
+
+#include "native/work_pool.h"
+
+size_t Probe(psj::native::WorkStealingPool<int>& pool) {
+  return pool.SharedQueueLocked().size();  // no lock held
+}

@@ -1,0 +1,20 @@
+// Positive control for guarded_deque_bad.cc: the same read of the
+// dynamic-assignment queue, but holding the shared-queue capability the
+// member is PSJ_GUARDED_BY. Must compile under -Wthread-safety -Werror.
+#include <cstddef>
+
+#include "native/work_pool.h"
+#include "util/mutex.h"
+
+namespace {
+
+size_t SharedDepth(psj::native::WorkStealingPool<int>& pool) {
+  psj::util::MutexLock lock(&pool.shared_mutex());
+  return pool.SharedQueueLocked().size();
+}
+
+}  // namespace
+
+size_t Probe(psj::native::WorkStealingPool<int>& pool) {
+  return SharedDepth(pool);
+}

@@ -1,0 +1,12 @@
+// Seeded violation: calls a PSJ_REQUIRES(mu_) accessor of the serving
+// layer without acquiring the admission mutex first. Under clang
+// -Wthread-safety -Werror this translation unit MUST fail to compile
+// ("calling function 'QueueDepthLocked' requires holding mutex"); if it
+// ever compiles there, the analyze gate has stopped biting.
+#include <cstddef>
+
+#include "serve/service.h"
+
+size_t Probe(psj::serve::SpatialQueryService& service) {
+  return service.QueueDepthLocked();  // admission_mutex() not held
+}

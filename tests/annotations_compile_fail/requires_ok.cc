@@ -1,0 +1,13 @@
+// Positive control for requires_bad.cc: the same admission-queue probe,
+// but holding the capability returned by admission_mutex() — which
+// PSJ_RETURN_CAPABILITY ties to the service's internal mu_. Must compile
+// under -Wthread-safety -Werror.
+#include <cstddef>
+
+#include "serve/service.h"
+#include "util/mutex.h"
+
+size_t Probe(psj::serve::SpatialQueryService& service) {
+  psj::util::MutexLock lock(&service.admission_mutex());
+  return service.QueueDepthLocked();
+}

@@ -192,7 +192,9 @@ TEST(NodeSoACacheTest, SealedTreeViewsMatchNodes) {
       EXPECT_FALSE(v.rects.rect(i).IsValid());
     }
   }
-  // A mutation invalidates the cache; re-sealing restores it.
+  // A mutation (after Thaw(), per the phase contract) invalidates the
+  // cache; re-sealing restores it.
+  tree.Thaw();
   tree.Insert(Rect(0.5, 0.5, 0.6, 0.6), 7777);
   EXPECT_EQ(tree.soa(), nullptr);
   tree.Seal();
@@ -253,8 +255,11 @@ TEST(EntryArenaTest, SealedArenaTreeAnswersQueriesIdentically) {
     const auto window = FuzzRects(rng, 1, 0.4)[0];
     EXPECT_EQ(tree_a.WindowQuery(window), tree_b.WindowQuery(window));
   }
-  // Mutating a sealed arena tree thaws the touched nodes (copy-on-write)
-  // and keeps the structure consistent.
+  // Mutating a sealed arena tree — after the tree-level Thaw() required by
+  // the phase contract — thaws the touched nodes (copy-on-write) and keeps
+  // the structure consistent.
+  tree_a.Thaw();
+  tree_b.Thaw();
   for (size_t i = 0; i < 50; ++i) {
     tree_a.Insert(rects[i], 10'000 + i);
     tree_b.Insert(rects[i], 10'000 + i);

@@ -30,6 +30,19 @@ leak into simulated results.
                        carrying the versioned figure-schema tag
                        ("schema": "psj-...") so the diff engine can refuse
                        incompatible documents instead of misreading them.
+  sealed-phase         A receiver that called Seal() must not reach a
+                       structural mutator (Insert/Delete/mutable_node/
+                       AllocateNode/FreeNode) later in the same function
+                       without an intervening Thaw(). This is the static
+                       twin of the PSJ_DCHECK_PHASE runtime guard in
+                       RStarTree; escape with
+                       "// psj-lint: phase-ok(<reason>)".
+  memory-order-audit   Every explicit std::memory_order_* argument needs an
+                       adjacent "order: <why>" rationale comment, and inside
+                       src/native/ + src/serve/ every atomic operation must
+                       spell its order explicitly — a bare (seq_cst) default
+                       there is either an unjustified fence or an
+                       undocumented requirement.
 
 Usage: python3 tools/psj_lint.py [--root REPO] [FILES...]
 With FILES, only those files are checked (the CI changed-files mode);
@@ -65,6 +78,9 @@ THREADING_ALLOWLIST = (
     # The experiment driver runs independent simulations on host threads.
     "src/core/experiment.h",
     "src/core/experiment.cc",
+    # The annotated Mutex/MutexLock/CondVar wrappers every host-threaded
+    # subsystem locks through (the only place raw std primitives may live).
+    "src/util/mutex.h",
 )
 # Whole directories where host threading is the point, not a leak. Each entry
 # must end with "/" so "src/nativefoo.cc" never matches "src/native/".
@@ -115,6 +131,28 @@ GLOBAL_DEF = re.compile(r"^(static|thread_local)\b")
 GLOBAL_IMMUTABLE = re.compile(r"\b(const|constexpr|constinit)\b")
 GLOBAL_NOT_A_VARIABLE = re.compile(r"\b(void|struct|class|enum|union)\b|\)\s*[{;]")
 
+# sealed-phase: receiver-tracked Seal()/Thaw()/mutator calls. The rule is a
+# per-function heuristic — the receiver set resets at every column-0 "}" —
+# so cross-function flows are the runtime guard's job (PSJ_DCHECK_PHASE).
+PHASE_DIRS = ("src", "tests", "bench", "examples")
+PHASE_OK_MARK = "psj-lint: phase-ok"
+PHASE_SEAL = re.compile(r"\b(\w+)(?:\.|->)Seal\(\)")
+PHASE_THAW = re.compile(r"\b(\w+)(?:\.|->)Thaw\(\)")
+PHASE_MUTATOR = re.compile(
+    r"\b(\w+)(?:\.|->)(Insert|Delete|mutable_node|AllocateNode|FreeNode)\("
+)
+
+# memory-order-audit: explicit orders need a rationale comment; the two
+# native-threaded directories may not fall back to the seq_cst default.
+MEMORY_ORDER_DIRS = ("src", "tests", "bench", "examples")
+MEMORY_ORDER_EXPLICIT = re.compile(r"std::memory_order_\w+")
+ATOMIC_DEFAULT_DIRS = ("src/native/", "src/serve/")
+ATOMIC_OP = re.compile(
+    r"\.(load|store|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|"
+    r"exchange|compare_exchange_weak|compare_exchange_strong)\s*\("
+)
+ORDER_RATIONALE_MARK = "order:"
+
 CXX_SUFFIXES = {".cc", ".h"}
 
 
@@ -140,15 +178,39 @@ def strip_comments(line, in_block):
     return "".join(out), in_block
 
 
+def has_order_rationale(raw_lines, idx):
+    """True when line idx (0-based) carries an "order:" comment — inline,
+    anywhere in the statement it continues (a previous line ending in a
+    continuation token), or in the contiguous comment block above the
+    statement's first line."""
+    start = idx
+    while start > 0 and raw_lines[start - 1].rstrip().endswith(
+        ("(", ",", "=", "+", "-", "&&", "||", "?", ":")
+    ):
+        start -= 1
+    if any(ORDER_RATIONALE_MARK in raw_lines[j] for j in range(start, idx + 1)):
+        return True
+    j = start - 1
+    while j >= 0 and raw_lines[j].strip().startswith("//"):
+        if ORDER_RATIONALE_MARK in raw_lines[j]:
+            return True
+        j -= 1
+    return False
+
+
 def lint_file(path, rel, errors):
     try:
         text = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError) as err:
         errors.append(f"{rel}: unreadable: {err}")
         return
+    raw_lines = text.splitlines()
     in_block = False
-    for lineno, raw in enumerate(text.splitlines(), start=1):
+    sealed = set()  # Receivers .Seal()ed in the current function.
+    for lineno, raw in enumerate(raw_lines, start=1):
         code, in_block = strip_comments(raw, in_block)
+        if rel.startswith(PHASE_DIRS) and code.startswith("}"):
+            sealed.clear()  # Column-0 brace: a function (or type) ended.
         if not code.strip():
             continue
 
@@ -182,6 +244,30 @@ def lint_file(path, rel, errors):
             and not GLOBAL_NOT_A_VARIABLE.search(code)
         ):
             report("no-mutable-globals", code.split()[0])
+        if rel.startswith(PHASE_DIRS):
+            for match in PHASE_MUTATOR.finditer(code):
+                receiver, mutator = match.group(1), match.group(2)
+                if receiver in sealed and PHASE_OK_MARK not in raw:
+                    report(
+                        "sealed-phase",
+                        f"{receiver}.{mutator}",
+                    )
+            for match in PHASE_SEAL.finditer(code):
+                sealed.add(match.group(1))
+            for match in PHASE_THAW.finditer(code):
+                sealed.discard(match.group(1))
+        if rel.startswith(MEMORY_ORDER_DIRS):
+            explicit = MEMORY_ORDER_EXPLICIT.search(code)
+            if explicit and not has_order_rationale(raw_lines, lineno - 1):
+                report("memory-order-audit", explicit.group(0))
+            elif (
+                not explicit
+                and rel.startswith(ATOMIC_DEFAULT_DIRS)
+                and ATOMIC_OP.search(code)
+                and "memory_order" not in code
+                and not has_order_rationale(raw_lines, lineno - 1)
+            ):
+                report("memory-order-audit", ATOMIC_OP.search(code).group(0))
 
 
 def lint_golden_schema(root, errors):
@@ -256,6 +342,82 @@ def self_test():
         # The allowlist is the directory, not the prefix string.
         ("src/geometry.cc", "#include <immintrin.h>\n", "no-raw-intrinsics"),
         ("src/join/x.cc", "// <immintrin.h> only in a comment\n", None),
+        # The annotated wrapper layer is the one legal home for raw
+        # std::mutex…
+        ("src/util/mutex.h", "#include <mutex>\nstd::mutex mu_;\n", None),
+        # …and the allowlist is that exact file, not the directory.
+        ("src/util/other.h", "#include <mutex>\n", "no-host-threading"),
+        # sealed-phase: mutating a receiver that Seal()ed earlier in the
+        # same function is a violation…
+        (
+            "src/join/x.cc",
+            "void F() {\n  t.Seal();\n  t.Insert(r, 1);\n}\n",
+            "sealed-phase",
+        ),
+        (
+            "tests/x_test.cc",
+            "TEST(T, M) {\n  tree.Seal();\n  tree.mutable_node(1);\n}\n",
+            "sealed-phase",
+        ),
+        # …unless a Thaw() intervenes…
+        (
+            "src/join/x.cc",
+            "void F() {\n  t.Seal();\n  t.Thaw();\n  t.Insert(r, 1);\n}\n",
+            None,
+        ),
+        # …or the site is explicitly annotated…
+        (
+            "src/join/x.cc",
+            "void F() {\n  t.Seal();\n"
+            "  t.Insert(r, 1);  // psj-lint: phase-ok(rebuild fixture)\n}\n",
+            None,
+        ),
+        # …and the receiver set resets at function scope: Seal() in one
+        # function does not taint mutators in the next.
+        (
+            "src/join/x.cc",
+            "void F() {\n  t.Seal();\n}\nvoid G() {\n  t.Insert(r, 1);\n}\n",
+            None,
+        ),
+        # A different receiver is not confused with the sealed one.
+        (
+            "src/join/x.cc",
+            "void F() {\n  a.Seal();\n  b.Insert(r, 1);\n}\n",
+            None,
+        ),
+        # memory-order-audit: explicit orders need an adjacent "order:"
+        # rationale comment…
+        (
+            "src/join/x.cc",
+            "n.fetch_add(1, std::memory_order_relaxed);\n",
+            "memory-order-audit",
+        ),
+        (
+            "src/join/x.cc",
+            "// order: relaxed — pure tally, no publication.\n"
+            "n.fetch_add(1, std::memory_order_relaxed);\n",
+            None,
+        ),
+        # …reaching through a multi-line comment block…
+        (
+            "src/native/x.cc",
+            "// order: release — pairs with the acquire load in Done()\n"
+            "// so the observer of zero sees the finished items.\n"
+            "n.fetch_sub(1, std::memory_order_release);\n",
+            None,
+        ),
+        # …and in src/native/ + src/serve/ the bare seq_cst default is a
+        # violation too (tighten it or justify it)…
+        ("src/native/x.cc", "n.fetch_add(1);\n", "memory-order-audit"),
+        ("src/serve/x.cc", "flag.store(true);\n", "memory-order-audit"),
+        (
+            "src/serve/x.cc",
+            "// order: seq_cst required — total order with stop flag.\n"
+            "flag.store(true);\n",
+            None,
+        ),
+        # …while elsewhere the default order stays legal.
+        ("src/core/x.cc", "n.fetch_add(1);\n", None),
     ]
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -296,7 +458,12 @@ def main(argv):
     if args.files:
         candidates = [pathlib.Path(f) for f in args.files]
     else:
-        candidates = sorted(root.glob("src/**/*"))
+        # src rules are dir-scoped internally; the wider sweep exists for the
+        # rules that also police tests/bench/examples (sealed-phase,
+        # memory-order-audit).
+        candidates = []
+        for top in ("src", "tests", "bench", "examples", "tools"):
+            candidates.extend(sorted(root.glob(f"{top}/**/*")))
     errors = []
     for path in candidates:
         path = path if path.is_absolute() else root / path
