@@ -36,6 +36,19 @@ class NativeJoiner {
 
   NativeJoinResult Run() {
     const Clock::time_point start = Clock::now();
+    if (config_.metrics != nullptr) {
+      obs::MetricsRegistry& m = *config_.metrics;
+      metric_tasks_ = m.DefineCounter("native_tasks_executed_count");
+      metric_node_pairs_ = m.DefineCounter("native_node_pairs_count");
+      metric_steals_ = m.DefineCounter("native_steal_count");
+      metric_steal_attempts_ =
+          m.DefineCounter("native_steal_attempt_count");
+      metric_candidates_ = m.DefineCounter("native_candidates_count");
+      metric_busy_ = m.DefineCounter("native_worker_busy_us");
+      metric_task_duration_ =
+          m.DefineHistogram("native_task_duration_us");
+      m.Freeze();
+    }
     // Phase 1: task creation — same traversal as the simulated engine,
     // no hooks (in-memory trees, nothing to charge).
     JoinTaskSet tasks =
@@ -99,15 +112,39 @@ class NativeJoiner {
 
   void WorkerBody(int id) {
     WorkerState& w = workers_[static_cast<size_t>(id)];
+    obs::MetricsRegistry* const metrics = config_.metrics;
     for (;;) {
       std::optional<NodePair> item = pool_.Next(id);
       if (item.has_value()) {
         ++w.stats.tasks_executed;
-        ExecutePair(id, w, *item);
+        if (metrics == nullptr) {
+          ExecutePair(id, w, *item);
+        } else {
+          // Per-task wall-clock timing only on the instrumented path: the
+          // disabled path above stays clock-free.
+          const Clock::time_point task_start = Clock::now();
+          ExecutePair(id, w, *item);
+          const int64_t task_us =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - task_start)
+                  .count();
+          w.stats.busy_us += task_us;
+          metrics->Record(id, metric_task_duration_, task_us);
+          metrics->Add(id, metric_tasks_, 1);
+        }
         pool_.FinishItem();
         continue;
       }
       if (pool_.Done()) {
+        if (metrics != nullptr) {
+          // Totals that only exist at drain time; one flush per worker.
+          metrics->Add(id, metric_node_pairs_,
+                       w.stats.node_pairs_processed);
+          metrics->Add(id, metric_steals_, w.stats.steals);
+          metrics->Add(id, metric_steal_attempts_, w.stats.steal_attempts);
+          metrics->Add(id, metric_candidates_, w.stats.candidates);
+          metrics->Add(id, metric_busy_, w.stats.busy_us);
+        }
         return;
       }
       if (StealingEnabled()) {
@@ -157,6 +194,11 @@ class NativeJoiner {
   WorkStealingPool<NodePair> pool_;
   std::vector<WorkerState> workers_;
   NativeJoinResult result_;
+
+  // Metric handles, defined in Run() when config_.metrics is set.
+  obs::CounterId metric_tasks_, metric_node_pairs_, metric_steals_,
+      metric_steal_attempts_, metric_candidates_, metric_busy_;
+  obs::HistogramId metric_task_duration_;
 };
 
 }  // namespace

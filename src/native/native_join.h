@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "join/node_match.h"
+#include "obs/metrics.h"
 #include "rtree/rstar_tree.h"
 
 /// \file
@@ -45,6 +46,15 @@ struct NativeJoinConfig {
   /// rule as the simulated engine.
   double task_creation_factor = 3.0;
 
+  /// Optional live metrics: when set, the run defines the `native_*`
+  /// counters plus the per-task duration histogram, freezes the registry,
+  /// and feeds worker w's updates through shard w. Also turns on per-task
+  /// wall-clock timing (two steady_clock reads per task), which fills
+  /// NativeWorkerStats::busy_us; with metrics null (the default) the
+  /// execution path is exactly the uninstrumented one — a single pointer
+  /// test, bounded <1% by bench/micro_obs.
+  obs::MetricsRegistry* metrics = nullptr;
+
   NodeMatchOptions match;
 };
 
@@ -55,6 +65,12 @@ struct NativeWorkerStats {
   int64_t steals = 0;               // Successful StealHalf transfers.
   int64_t steal_attempts = 0;
   int64_t candidates = 0;           // Leaf-level pairs this worker emitted.
+  /// Wall time spent inside task execution, microseconds. Only measured
+  /// when NativeJoinConfig::metrics is set (per-task timing costs two
+  /// clock reads); 0 otherwise. busy_us / wall_ms is the worker's
+  /// utilization — the imbalance figure the paper's speedup analysis
+  /// turns on.
+  int64_t busy_us = 0;
 };
 
 /// Result of one native join run. `candidates` is the filter-step output:

@@ -1,0 +1,100 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "trace/chrome_trace.h"
+#include "util/json_writer.h"
+
+namespace psj::obs {
+namespace {
+
+void AppendLine(std::string& out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendLine(std::string& out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  const int n = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (n > 0) {
+    out.append(buffer, std::min(static_cast<size_t>(n), sizeof(buffer) - 1));
+  }
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string ExportPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& counter : snapshot.counters) {
+    AppendLine(out, "# TYPE %s counter", counter.name.c_str());
+    AppendLine(out, "%s %" PRId64, counter.name.c_str(), counter.value);
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    AppendLine(out, "# TYPE %s gauge", gauge.name.c_str());
+    AppendLine(out, "%s %" PRId64, gauge.name.c_str(), gauge.value);
+  }
+  for (const auto& entry : snapshot.histograms) {
+    const trace::Histogram& h = entry.histogram;
+    AppendLine(out, "# TYPE %s histogram", entry.name.c_str());
+    // Cumulative le-buckets: log bucket i covers values <= 2^i - 1, so the
+    // exclusive power-of-two upper bound maps onto Prometheus's inclusive
+    // `le` exactly. An empty histogram emits only +Inf with count 0.
+    int64_t cumulative = 0;
+    const int highest = h.HighestBucket();
+    for (int i = 0; i <= highest; ++i) {
+      cumulative += h.bucket_count(i);
+      AppendLine(out, "%s_bucket{le=\"%" PRId64 "\"} %" PRId64,
+                 entry.name.c_str(),
+                 trace::Histogram::BucketLowerBound(i + 1) - 1, cumulative);
+    }
+    AppendLine(out, "%s_bucket{le=\"+Inf\"} %" PRId64, entry.name.c_str(),
+               h.total_count());
+    AppendLine(out, "%s_sum %" PRId64, entry.name.c_str(), h.sum());
+    AppendLine(out, "%s_count %" PRId64, entry.name.c_str(),
+               h.total_count());
+  }
+  return out;
+}
+
+std::string ExportJsonSnapshot(const MetricsSnapshot& snapshot,
+                               const std::vector<CounterRate>& rates) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& counter : snapshot.counters) {
+    json.Key(counter.name);
+    json.Int(counter.value);
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& gauge : snapshot.gauges) {
+    json.Key(gauge.name);
+    json.Int(gauge.value);
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& entry : snapshot.histograms) {
+    json.Key(entry.name);
+    trace::WriteHistogramJson(json, entry.histogram);
+  }
+  json.EndObject();
+  json.Key("rates_per_sec");
+  json.BeginObject();
+  for (const CounterRate& rate : rates) {
+    json.Key(rate.name);
+    json.Double(rate.per_second);
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace psj::obs

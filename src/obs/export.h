@@ -1,0 +1,45 @@
+#ifndef PSJ_OBS_EXPORT_H_
+#define PSJ_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+/// \file
+/// Text exporters over MetricsSnapshot: Prometheus exposition format for
+/// scrape endpoints / file sinks, and a JSON snapshot (reusing the trace
+/// layer's histogram schema) for tooling. Both walk the snapshot in
+/// registration order, so repeated exports of the same state are
+/// byte-identical.
+
+namespace psj::obs {
+
+/// Per-counter rate computed between two snapshots by the reporter;
+/// attached to JSON exports so interval qps-style figures need no
+/// client-side differencing.
+struct CounterRate {
+  std::string name;
+  double per_second = 0.0;
+};
+
+/// \brief Renders a snapshot in the Prometheus text exposition format.
+///
+/// Counters emit `# TYPE <name> counter` + value; gauges the same with
+/// `gauge`; histograms emit the cumulative-`le` bucket series (upper bound
+/// of log bucket i is 2^i - 1), a final `+Inf` bucket, and the `_sum` /
+/// `_count` pair. Empty histograms emit only the `+Inf` bucket with count
+/// 0 — still a complete, scrapable series.
+std::string ExportPrometheusText(const MetricsSnapshot& snapshot);
+
+/// \brief Renders a snapshot as one JSON object:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {name: <trace
+/// histogram schema incl. p50/p95/p99>}, "rates_per_sec": {...}}`.
+/// `rates` may be empty; the `rates_per_sec` object is always present so
+/// the shape is identical for first and subsequent intervals.
+std::string ExportJsonSnapshot(const MetricsSnapshot& snapshot,
+                               const std::vector<CounterRate>& rates = {});
+
+}  // namespace psj::obs
+
+#endif  // PSJ_OBS_EXPORT_H_

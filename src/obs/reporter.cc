@@ -1,0 +1,129 @@
+#include "obs/reporter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "util/check.h"
+
+namespace psj::obs {
+
+namespace {
+
+bool WriteWholeFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+std::vector<CounterRate> ComputeRates(const MetricsSnapshot& current,
+                                      const MetricsSnapshot& previous,
+                                      double seconds) {
+  std::vector<CounterRate> rates;
+  if (seconds <= 0.0) {
+    return rates;
+  }
+  rates.reserve(current.counters.size());
+  for (const auto& counter : current.counters) {
+    const MetricsSnapshot::Counter* before =
+        previous.FindCounter(counter.name);
+    const int64_t delta =
+        counter.value - (before == nullptr ? 0 : before->value);
+    rates.push_back(
+        {counter.name, static_cast<double>(delta) / seconds});
+  }
+  return rates;
+}
+
+PeriodicReporter::PeriodicReporter(const MetricsRegistry* registry,
+                                   ReporterOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  PSJ_CHECK(registry_ != nullptr);
+  PSJ_CHECK_GT(options_.interval_ms, 0);
+}
+
+PeriodicReporter::~PeriodicReporter() { Stop(); }
+
+void PeriodicReporter::Start() {
+  {
+    util::MutexLock lock(&mu_);
+    PSJ_CHECK(!started_) << "PeriodicReporter started twice";
+    started_ = true;
+  }
+  thread_ = std::thread([this] { Run(); });
+}
+
+void PeriodicReporter::Stop() {
+  // Idempotent for sequential calls (explicit Stop() then destructor); not
+  // designed for two threads stopping concurrently — ownership of the
+  // reporter implies ownership of its shutdown.
+  {
+    util::MutexLock lock(&mu_);
+    if (!started_ || stop_requested_) {
+      return;
+    }
+    stop_requested_ = true;
+  }
+  cv_.NotifyAll();
+  thread_.join();
+}
+
+int64_t PeriodicReporter::intervals_emitted() const {
+  util::MutexLock lock(&mu_);
+  return intervals_emitted_;
+}
+
+void PeriodicReporter::Run() {
+  auto last = std::chrono::steady_clock::now();
+  for (;;) {
+    const auto deadline =
+        last + std::chrono::milliseconds(options_.interval_ms);
+    bool stopping = false;
+    {
+      util::MutexLock lock(&mu_);
+      // Stop-aware sleep: spurious wakeups re-wait until the deadline,
+      // stop requests break out immediately (and still emit below).
+      while (!stop_requested_ &&
+             std::chrono::steady_clock::now() < deadline) {
+        cv_.WaitUntil(mu_, deadline);
+      }
+      stopping = stop_requested_;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - last).count();
+    last = now;
+    Emit(registry_->Snapshot(), elapsed);
+    if (stopping) {
+      return;
+    }
+  }
+}
+
+void PeriodicReporter::Emit(const MetricsSnapshot& snapshot,
+                            double interval_seconds) {
+  if (!options_.prometheus_path.empty()) {
+    WriteWholeFile(options_.prometheus_path, ExportPrometheusText(snapshot));
+  }
+  if (!options_.json_path.empty()) {
+    const std::vector<CounterRate> rates =
+        ComputeRates(snapshot, previous_, interval_seconds);
+    std::string doc = ExportJsonSnapshot(snapshot, rates);
+    doc.push_back('\n');
+    WriteWholeFile(options_.json_path, doc);
+  }
+  if (options_.on_interval) {
+    options_.on_interval(snapshot, previous_, interval_seconds);
+  }
+  previous_ = snapshot;
+  util::MutexLock lock(&mu_);
+  ++intervals_emitted_;
+}
+
+}  // namespace psj::obs

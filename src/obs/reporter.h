@@ -1,0 +1,92 @@
+#ifndef PSJ_OBS_REPORTER_H_
+#define PSJ_OBS_REPORTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace psj::obs {
+
+/// What the reporter does with each interval snapshot. File targets are
+/// rewritten whole every interval (write-temp would need renames; a plain
+/// truncating rewrite keeps each file a complete, valid document at every
+/// instant a reader is likely to open it — these are local stats files,
+/// not databases).
+struct ReporterOptions {
+  /// Interval between snapshots. The reporter also emits one final
+  /// snapshot from Stop(), so short runs still produce output.
+  int64_t interval_ms = 1000;
+  /// When non-empty: latest snapshot in Prometheus text format.
+  std::string prometheus_path;
+  /// When non-empty: latest snapshot as one JSON object (with per-counter
+  /// rates computed against the previous interval).
+  std::string json_path;
+  /// Optional per-interval callback (console lines, tests). Runs on the
+  /// reporter thread with `interval_seconds` = measured elapsed wall time
+  /// since the previous snapshot.
+  std::function<void(const MetricsSnapshot& current,
+                     const MetricsSnapshot& previous,
+                     double interval_seconds)>
+      on_interval;
+};
+
+/// Computes per-second rates for every counter present in both snapshots
+/// (delta / elapsed). Exposed for tests and custom reporters; returns an
+/// empty vector when `seconds` is not positive.
+std::vector<CounterRate> ComputeRates(const MetricsSnapshot& current,
+                                      const MetricsSnapshot& previous,
+                                      double seconds);
+
+/// \brief Background thread that periodically snapshots a MetricsRegistry
+/// and publishes the result (Prometheus text file, JSON file, callback).
+///
+/// Start() launches the thread; Stop() wakes it, emits one final snapshot,
+/// and joins. The registry must outlive the reporter and be frozen before
+/// the first interval fires (the reporter tolerates a pre-freeze registry
+/// by exporting the all-zero shape). Wall-clock layer: lives in src/obs/,
+/// a lint-sanctioned host-threading directory.
+class PeriodicReporter {
+ public:
+  PeriodicReporter(const MetricsRegistry* registry, ReporterOptions options);
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  void Start() PSJ_EXCLUDES(mu_);
+  /// Idempotent; emits the final snapshot before joining.
+  void Stop() PSJ_EXCLUDES(mu_);
+
+  /// Number of snapshots emitted so far (tests).
+  int64_t intervals_emitted() const PSJ_EXCLUDES(mu_);
+
+ private:
+  void Run() PSJ_EXCLUDES(mu_);
+  void Emit(const MetricsSnapshot& snapshot, double interval_seconds)
+      PSJ_EXCLUDES(mu_);
+
+  const MetricsRegistry* const registry_;
+  const ReporterOptions options_;
+
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  bool stop_requested_ PSJ_GUARDED_BY(mu_) = false;
+  bool started_ PSJ_GUARDED_BY(mu_) = false;
+  int64_t intervals_emitted_ PSJ_GUARDED_BY(mu_) = 0;
+
+  /// Reporter-thread state only; no lock needed.
+  MetricsSnapshot previous_;
+
+  std::thread thread_;
+};
+
+}  // namespace psj::obs
+
+#endif  // PSJ_OBS_REPORTER_H_

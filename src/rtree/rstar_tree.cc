@@ -1,6 +1,7 @@
 #include "rtree/rstar_tree.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <queue>
@@ -108,12 +109,19 @@ RTreeNode& RStarTree::mutable_node(uint32_t page_no) {
 }
 
 void RStarTree::Seal() {
+  // Timed because sealing is the startup cost of every wall-clock engine
+  // (the serving layer requires sealed trees); steady_clock is legal here —
+  // the no-wall-clock lint rule covers only the simulated layers.
+  const auto start = std::chrono::steady_clock::now();
   if (options_.arena_entry_storage) {
     CompactEntryStorage();
   }
   soa_cache_.Build(nodes_, is_free_);
   soa_valid_ = true;
   phase_ = TreePhase::kSealed;
+  last_seal_micros_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
 }
 
 void RStarTree::CompactEntryStorage() {

@@ -146,6 +146,13 @@ class RStarTree {
   enum class TreePhase { kMutable, kSealed };
   TreePhase phase() const { return phase_; }
 
+  /// Wall-clock duration of the most recent Seal() (arena compaction + SoA
+  /// build), in microseconds; 0 if never sealed. Kept here — not in the
+  /// obs layer — so sealing needs no registry dependency; consumers that
+  /// carry one (the CLI's serve path) record it as the `rtree_seal_us`
+  /// gauge.
+  int64_t last_seal_micros() const { return last_seal_micros_; }
+
   /// The SoA image of every node, or null if the tree was mutated since the
   /// last Seal() (or never sealed).
   const NodeSoACache* soa() const { return soa_valid_ ? &soa_cache_ : nullptr; }
@@ -252,6 +259,8 @@ class RStarTree {
   bool soa_valid_ = false;
   /// Lifecycle phase; mutation doorways PSJ_DCHECK_PHASE it is kMutable.
   TreePhase phase_ = TreePhase::kMutable;
+  /// Duration of the most recent Seal() (see last_seal_micros()).
+  int64_t last_seal_micros_ = 0;
 };
 
 }  // namespace psj

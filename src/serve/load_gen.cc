@@ -100,14 +100,6 @@ std::vector<Rect> CollectDataRects(const RStarTree& tree) {
   return rects;
 }
 
-int64_t Percentile(const std::vector<int64_t>& sorted, double q) {
-  if (sorted.empty()) {
-    return 0;
-  }
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  return sorted[static_cast<size_t>(pos)];
-}
-
 struct Sample {
   QueryDescriptor descriptor;
   QueryResult result;
@@ -165,6 +157,15 @@ bool SampleMatchesOracle(
 
 }  // namespace
 
+int64_t ExactPercentile(const std::vector<int64_t>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<size_t>(pos)];
+}
+
 LoadGenResult RunOpenLoopLoad(const RStarTree& tree_r, const RStarTree& tree_s,
                               const LoadGenOptions& options) {
   PSJ_CHECK_GT(options.offered_qps, 0.0);
@@ -176,6 +177,9 @@ LoadGenResult RunOpenLoopLoad(const RStarTree& tree_r, const RStarTree& tree_s,
   config.batching = options.batching;
   config.batch_window_micros = options.batch_window_micros;
   config.max_batch = options.max_batch;
+  config.metrics = options.metrics;
+  config.trace = options.trace;
+  config.trace_sample_every = options.trace_sample_every;
   SpatialQueryService service(&tree_r, &tree_s, config);
 
   QueryStream stream(tree_r.root_mbr().UnionWith(tree_s.root_mbr()), options);
@@ -250,9 +254,12 @@ LoadGenResult RunOpenLoopLoad(const RStarTree& tree_r, const RStarTree& tree_s,
   result.descent = stats.descent;
 
   std::sort(latencies.begin(), latencies.end());
-  result.p50_latency_us = Percentile(latencies, 0.50);
-  result.p95_latency_us = Percentile(latencies, 0.95);
-  result.p99_latency_us = Percentile(latencies, 0.99);
+  result.p50_latency_us = ExactPercentile(latencies, 0.50);
+  result.p95_latency_us = ExactPercentile(latencies, 0.95);
+  result.p99_latency_us = ExactPercentile(latencies, 0.99);
+  result.hist_p50_latency_us = stats.LatencyP50();
+  result.hist_p95_latency_us = stats.LatencyP95();
+  result.hist_p99_latency_us = stats.LatencyP99();
 
   if (!samples.empty()) {
     const bool any_join =

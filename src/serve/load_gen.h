@@ -2,6 +2,7 @@
 #define PSJ_SERVE_LOAD_GEN_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "rtree/rstar_tree.h"
 #include "serve/service.h"
@@ -50,6 +51,14 @@ struct LoadGenOptions {
   /// set-equal against the single-query oracle (WindowQuery / KnnQuery /
   /// sequential-join filter). 0 disables sampling.
   int verify_every = 0;
+
+  /// Passed through to ServiceConfig: live metrics registry (the caller
+  /// owns it and reads snapshots during or after the run; null disables).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Passed through to ServiceConfig: event sink + per-request sampling
+  /// period for wall-clock traces (see ServiceConfig::trace_sample_every).
+  trace::TraceSink* trace = nullptr;
+  int64_t trace_sample_every = 0;
 };
 
 /// Measured outcome of one open-loop run.
@@ -66,10 +75,19 @@ struct LoadGenResult {
   int64_t completed_ok = 0;
   int64_t deadline_exceeded = 0;
 
-  // Exact latency percentiles over every completed query (microseconds).
+  // Exact latency percentiles over every completed query (microseconds),
+  // from the generator's full sorted latency vector.
   int64_t p50_latency_us = 0;
   int64_t p95_latency_us = 0;
   int64_t p99_latency_us = 0;
+
+  // The same quantiles as the service itself reports them, read from the
+  // ServiceStats log-bucket latency histogram — what a live snapshot (the
+  // serve --stats-every-ms reporter) would show. Bucket-resolution
+  // approximations of the exact values above.
+  int64_t hist_p50_latency_us = 0;
+  int64_t hist_p95_latency_us = 0;
+  int64_t hist_p99_latency_us = 0;
 
   double avg_batch_size = 0.0;
   int64_t peak_queue_depth = 0;
@@ -88,6 +106,14 @@ struct LoadGenResult {
 /// workers come from the service, so a run uses 1 + num_threads threads.
 LoadGenResult RunOpenLoopLoad(const RStarTree& tree_r, const RStarTree& tree_s,
                               const LoadGenOptions& options);
+
+/// Exact percentile over an ascending-sorted sample vector: the value at
+/// floor(q * (n - 1)) — nearest-rank with truncation, so q = 0 is the
+/// minimum, q = 1.0 the maximum, and a single-element vector answers every
+/// quantile with that element. Returns 0 on an empty vector. Exposed (and
+/// edge-case tested) because both the load generator and the CLI report
+/// through it.
+int64_t ExactPercentile(const std::vector<int64_t>& sorted, double q);
 
 }  // namespace psj::serve
 

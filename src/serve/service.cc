@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "util/check.h"
@@ -64,6 +65,29 @@ SpatialQueryService::SpatialQueryService(const RStarTree* tree_r,
       << "the service queries sealed trees; call RStarTree::Seal() first";
   PSJ_CHECK_GT(config_.num_threads, 0);
   PSJ_CHECK_GT(config_.max_batch, 0u);
+  PSJ_CHECK_GE(config_.trace_sample_every, 0);
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    metrics_.submitted = m.DefineCounter("serve_submitted_count");
+    metrics_.accepted = m.DefineCounter("serve_accepted_count");
+    metrics_.rejected_queue_full =
+        m.DefineCounter("serve_rejected_queue_full_count");
+    metrics_.rejected_stopped =
+        m.DefineCounter("serve_rejected_stopped_count");
+    metrics_.rejected_invalid =
+        m.DefineCounter("serve_rejected_invalid_count");
+    metrics_.completed_ok = m.DefineCounter("serve_completed_ok_count");
+    metrics_.deadline_miss = m.DefineCounter("serve_deadline_miss_count");
+    metrics_.batches = m.DefineCounter("serve_batches_count");
+    metrics_.batched_queries =
+        m.DefineCounter("serve_batched_queries_count");
+    metrics_.nodes_visited = m.DefineCounter("serve_nodes_visited_count");
+    metrics_.entry_tests = m.DefineCounter("serve_entry_tests_count");
+    metrics_.queue_depth = m.DefineGauge("serve_queue_depth_count");
+    metrics_.latency_us = m.DefineHistogram("serve_latency_us");
+    metrics_.queue_wait_us = m.DefineHistogram("serve_queue_wait_us");
+    metrics_.batch_size = m.DefineHistogram("serve_batch_size_count");
+  }
 }
 
 SpatialQueryService::~SpatialQueryService() { Stop(); }
@@ -84,6 +108,24 @@ void SpatialQueryService::Start() {
     return;
   }
   started_ = true;
+  if (config_.metrics != nullptr) {
+    // Opens the lock-free hot path; metric definitions happened in the
+    // constructor, so the construct-everything-then-start-anything rule
+    // of MetricsRegistry holds for services sharing one registry.
+    config_.metrics->Freeze();
+  }
+  if (config_.trace != nullptr) {
+    // Safe without stats_mu_: no worker exists yet, so nothing else can
+    // be writing the sink.
+    for (int w = 0; w < config_.num_threads; ++w) {
+      config_.trace->SetTrackName(w, "serve worker " + std::to_string(w));
+      if (config_.trace_sample_every > 0) {
+        config_.trace->SetTrackName(
+            RequestTrack(w), "sampled requests (worker " +
+                                 std::to_string(w) + ")");
+      }
+    }
+  }
   workers_.reserve(static_cast<size_t>(config_.num_threads));
   for (int w = 0; w < config_.num_threads; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
@@ -150,6 +192,14 @@ Submission SpatialQueryService::Submit(const QueryDescriptor& descriptor,
                                 ? -1
                                 : pending.admitted_us +
                                       descriptor.deadline_micros;
+      // Deterministic sampling by admission id: ids start at 1, so
+      // (id - 1) % N == 0 always samples the first accepted query.
+      pending.sampled = config_.trace != nullptr &&
+                        config_.trace_sample_every > 0 &&
+                        (pending.id - 1) %
+                                static_cast<uint64_t>(
+                                    config_.trace_sample_every) ==
+                            0;
       submission.accepted = true;
       submission.query_id = pending.id;
       queue_.push_back(std::move(pending));
@@ -157,6 +207,32 @@ Submission SpatialQueryService::Submit(const QueryDescriptor& descriptor,
     }
   }
   submission.reason = reason;
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    if (!m.frozen()) {
+      // Submissions are legal before Start(); the first one closes the
+      // definition phase (Freeze is idempotent, so Start() doing it again
+      // is harmless).
+      m.Freeze();
+    }
+    const int shard = SubmitShard();
+    m.Add(shard, metrics_.submitted, 1);
+    switch (reason) {
+      case RejectReason::kNone:
+        m.Add(shard, metrics_.accepted, 1);
+        m.Set(metrics_.queue_depth, static_cast<int64_t>(depth));
+        break;
+      case RejectReason::kQueueFull:
+        m.Add(shard, metrics_.rejected_queue_full, 1);
+        break;
+      case RejectReason::kStopped:
+        m.Add(shard, metrics_.rejected_stopped, 1);
+        break;
+      case RejectReason::kInvalid:
+        m.Add(shard, metrics_.rejected_invalid, 1);
+        break;
+    }
+  }
   {
     util::MutexLock lock(&stats_mu_);
     ++stats_.submitted;
@@ -245,6 +321,10 @@ bool SpatialQueryService::NextBatch(std::vector<Pending>* batch) {
     for (size_t i = 0; i < take; ++i) {
       batch->push_back(std::move(queue_.front()));
       queue_.pop_front();
+    }
+    if (config_.metrics != nullptr && config_.metrics->frozen()) {
+      config_.metrics->Set(metrics_.queue_depth,
+                           static_cast<int64_t>(queue_.size()));
     }
     return true;
   }
@@ -343,6 +423,43 @@ void SpatialQueryService::RunBatch(int worker, std::vector<Pending> batch) {
       config_.trace->Span(worker, trace::Category::kTask, "serve batch",
                           start_us, end_us, static_cast<int64_t>(n),
                           expired);
+      // Sampled per-request spans: the request span covers the whole
+      // lifetime (admission -> completion) with its queue wait nested
+      // inside, on the worker's request track — so a shared batch's spans
+      // are attributed to the individual member queries that rode it.
+      for (size_t i = 0; i < n; ++i) {
+        if (!batch[i].sampled) {
+          continue;
+        }
+        const int32_t track = RequestTrack(worker);
+        const int64_t id = static_cast<int64_t>(batch[i].id);
+        config_.trace->Span(track, trace::Category::kRequest, "request",
+                            batch[i].admitted_us, end_us, id,
+                            static_cast<int64_t>(n));
+        if (start_us > batch[i].admitted_us) {
+          config_.trace->Span(track, trace::Category::kQueueWait,
+                              "queue wait", batch[i].admitted_us, start_us,
+                              id, 0);
+        }
+      }
+    }
+  }
+
+  if (config_.metrics != nullptr && config_.metrics->frozen()) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m.Add(worker, metrics_.batches, 1);
+    m.Record(worker, metrics_.batch_size, static_cast<int64_t>(n));
+    if (n > 1) {
+      m.Add(worker, metrics_.batched_queries, static_cast<int64_t>(n));
+    }
+    m.Add(worker, metrics_.completed_ok, ok);
+    m.Add(worker, metrics_.deadline_miss, expired);
+    m.Add(worker, metrics_.nodes_visited, descent_total.nodes_visited);
+    m.Add(worker, metrics_.entry_tests, descent_total.entry_tests);
+    for (size_t i = 0; i < n; ++i) {
+      m.Record(worker, metrics_.latency_us, results[i].latency_micros);
+      m.Record(worker, metrics_.queue_wait_us,
+               results[i].queue_wait_micros);
     }
   }
 

@@ -65,6 +65,9 @@ void EmitEvent(JsonWriter& json, const TraceEvent& event) {
 }  // namespace
 
 void WriteHistogramJson(JsonWriter& json, const Histogram& histogram) {
+  // The shape is identical for empty and populated histograms (count 0,
+  // zero stats, empty bucket array) so downstream parsers never need a
+  // presence check per field.
   json.BeginObject();
   json.Key("count");
   json.Int(histogram.total_count());
@@ -74,6 +77,12 @@ void WriteHistogramJson(JsonWriter& json, const Histogram& histogram) {
   json.Int(histogram.min());
   json.Key("max");
   json.Int(histogram.max());
+  json.Key("p50");
+  json.Int(histogram.ValueAtQuantile(0.50));
+  json.Key("p95");
+  json.Int(histogram.ValueAtQuantile(0.95));
+  json.Key("p99");
+  json.Int(histogram.ValueAtQuantile(0.99));
   json.Key("buckets");
   json.BeginArray();
   const int highest = histogram.HighestBucket();

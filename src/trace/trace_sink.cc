@@ -1,6 +1,7 @@
 #include "trace/trace_sink.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -36,6 +37,10 @@ std::string_view ToString(Category category) {
       return "steal-fail";
     case Category::kProcess:
       return "process";
+    case Category::kRequest:
+      return "request";
+    case Category::kQueueWait:
+      return "queue-wait";
   }
   return "?";
 }
@@ -69,11 +74,82 @@ void Histogram::Record(TraceTime value) {
   ++total_count_;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  if (other.total_count_ == 0) {
+    return;
+  }
+  if (total_count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  total_count_ += other.total_count_;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts_[static_cast<size_t>(i)] +=
+        other.counts_[static_cast<size_t>(i)];
+  }
+}
+
+TraceTime Histogram::ValueAtQuantile(double q) const {
+  if (total_count_ == 0) {
+    return 0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the requested sample, 1-based; q = 0 asks for the first.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil(q * static_cast<double>(total_count_))));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t n = counts_[static_cast<size_t>(i)];
+    if (n == 0) {
+      continue;
+    }
+    if (seen + n < rank) {
+      seen += n;
+      continue;
+    }
+    // The sample lies in bucket i = [lower, upper); interpolate linearly by
+    // its position among the bucket's samples, then clamp into the observed
+    // range so a single-sample histogram reports the sample itself.
+    const TraceTime lower = BucketLowerBound(i);
+    const TraceTime upper =
+        i == 0 ? TraceTime{0} : BucketLowerBound(i + 1) - 1;
+    const double fraction =
+        static_cast<double>(rank - seen) / static_cast<double>(n);
+    TraceTime value =
+        lower + static_cast<TraceTime>(
+                    fraction * static_cast<double>(upper - lower));
+    value = std::max(value, min());
+    value = std::min(value, max_);
+    return value;
+  }
+  return max_;
+}
+
 TraceTime Histogram::BucketLowerBound(int bucket) {
   if (bucket <= 0) {
     return 0;
   }
   return TraceTime{1} << (bucket - 1);
+}
+
+Histogram Histogram::FromBuckets(const int64_t counts[kNumBuckets],
+                                 TraceTime sum, TraceTime min,
+                                 TraceTime max) {
+  Histogram h;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t n = counts[static_cast<size_t>(i)];
+    PSJ_CHECK_GE(n, 0);
+    h.counts_[static_cast<size_t>(i)] = n;
+    h.total_count_ += n;
+  }
+  if (h.total_count_ > 0) {
+    h.sum_ = sum;
+    h.min_ = min;
+    h.max_ = max;
+  }
+  return h;
 }
 
 int Histogram::HighestBucket() const {

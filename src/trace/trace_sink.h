@@ -35,6 +35,8 @@ enum class Category : uint8_t {
   kStealRequest,    // Help request sent (instant).
   kStealFail,       // Victim had nothing left when the request arrived.
   kProcess,         // Scheduler-level process lifecycle (finish instant).
+  kRequest,         // Wall-clock serving: one sampled query, admit -> done.
+  kQueueWait,       // Wall-clock serving: sampled query's admission wait.
 };
 
 std::string_view ToString(Category category);
@@ -68,6 +70,18 @@ class Histogram {
 
   void Record(TraceTime value);
 
+  /// Adds another histogram's samples into this one — the shard-aggregation
+  /// primitive of the obs metrics registry (each worker shard merges into
+  /// one snapshot histogram). Count/sum add; min/max widen.
+  void Merge(const Histogram& other);
+
+  /// Value at quantile q in [0, 1]: the smallest v such that at least
+  /// ceil(q * count) samples are <= v, linearly interpolated inside the
+  /// matching power-of-two bucket and clamped to [min(), max()]. Exact at
+  /// the resolution of the log buckets (relative error < 2x, and much
+  /// better once clamped). Returns 0 on an empty histogram.
+  TraceTime ValueAtQuantile(double q) const;
+
   int64_t total_count() const { return total_count_; }
   TraceTime sum() const { return sum_; }
   TraceTime min() const { return total_count_ == 0 ? 0 : min_; }
@@ -77,6 +91,11 @@ class Histogram {
   }
   /// Inclusive lower bound of a bucket (0, 1, 2, 4, 8, ...).
   static TraceTime BucketLowerBound(int bucket);
+  /// Rebuilds a histogram from raw bucket counts plus summary stats — the
+  /// decode path of the obs registry's atomic shard cells. `count` becomes
+  /// the sum of `counts`; min/max are clamped sane against emptiness.
+  static Histogram FromBuckets(const int64_t counts[kNumBuckets],
+                               TraceTime sum, TraceTime min, TraceTime max);
   /// Highest non-empty bucket index, or -1 when empty.
   int HighestBucket() const;
 

@@ -39,6 +39,9 @@
 #include "join/sequential_join.h"
 #include "native/native_join.h"
 #include "native/partition_join.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
 #include "report/figure_registry.h"
 #include "report/native_figure.h"
 #include "report/golden_diff.h"
@@ -791,6 +794,14 @@ int CmdKnn(int argc, char** argv) {
 // dataset with the open-loop generator and print sustained throughput and
 // exact latency percentiles. `--single` is the one-query-at-a-time
 // ablation; `--verify-every=N` oracle-checks every Nth accepted query.
+//
+// Observability (src/obs): `--stats-every-ms=N` prints an interval stats
+// line every N ms and, with `--metrics-out=F` / `--metrics-json-out=F`,
+// rewrites the latest snapshot to those files in Prometheus text / JSON
+// form (each file is always a complete document; the final snapshot lands
+// on shutdown, so the flags also work without --stats-every-ms).
+// `--trace=F` exports sampled per-request wall-clock spans (every
+// `--trace-sample-every`th accepted query) as Chrome trace JSON.
 int CmdServe(int argc, char** argv) {
   auto dataset = LoadDataset(StringFlag(argc, argv, "prefix", ""));
   if (!dataset.has_value()) {
@@ -813,6 +824,111 @@ int CmdServe(int argc, char** argv) {
     return 2;
   }
 
+  const std::string metrics_out = StringFlag(argc, argv, "metrics-out", "");
+  const std::string metrics_json_out =
+      StringFlag(argc, argv, "metrics-json-out", "");
+  const int64_t stats_every_ms = IntFlag(argc, argv, "stats-every-ms", 0);
+  const std::string trace_path = StringFlag(argc, argv, "trace", "");
+  const bool with_metrics = stats_every_ms > 0 || !metrics_out.empty() ||
+                            !metrics_json_out.empty();
+
+  // Shard layout: worker w writes shard w, the submit path writes shard
+  // num_threads (see ServiceConfig::metrics).
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  obs::GaugeId seal_gauge;
+  if (with_metrics) {
+    registry =
+        std::make_unique<obs::MetricsRegistry>(options.num_threads + 1);
+    seal_gauge = registry->DefineGauge("rtree_seal_us");
+    options.metrics = registry.get();
+  }
+
+  trace::TraceSink sink;
+  if (!trace_path.empty()) {
+    options.trace = &sink;
+    options.trace_sample_every =
+        IntFlag(argc, argv, "trace-sample-every", 16);
+  }
+
+  std::unique_ptr<obs::PeriodicReporter> reporter;
+  if (with_metrics) {
+    const int64_t seal_us = dataset->tree_r.last_seal_micros() +
+                            dataset->tree_s.last_seal_micros();
+    obs::ReporterOptions reporter_options;
+    reporter_options.interval_ms =
+        stats_every_ms > 0 ? stats_every_ms : 1000;
+    reporter_options.prometheus_path = metrics_out;
+    reporter_options.json_path = metrics_json_out;
+    const bool print_intervals = stats_every_ms > 0;
+    reporter_options.on_interval =
+        [&registry, seal_gauge, seal_us, print_intervals](
+            const obs::MetricsSnapshot& current,
+            const obs::MetricsSnapshot& previous, double seconds) {
+          // The service freezes the registry at its own Start(), after
+          // this reporter is already running — publish the seal gauge as
+          // soon as the hot path opens.
+          if (registry->frozen()) {
+            registry->Set(seal_gauge, seal_us);
+          }
+          if (!print_intervals) {
+            return;
+          }
+          const auto counter = [&current](std::string_view name) {
+            const auto* c = current.FindCounter(name);
+            return c == nullptr ? int64_t{0} : c->value;
+          };
+          const auto prev_counter = [&previous](std::string_view name) {
+            const auto* c = previous.FindCounter(name);
+            return c == nullptr ? int64_t{0} : c->value;
+          };
+          const int64_t done = counter("serve_completed_ok_count");
+          const double qps =
+              seconds > 0.0
+                  ? static_cast<double>(
+                        done - prev_counter("serve_completed_ok_count")) /
+                        seconds
+                  : 0.0;
+          const auto* depth = current.FindGauge("serve_queue_depth_count");
+          const auto* latency =
+              current.FindHistogram("serve_latency_us");
+          const auto* batch =
+              current.FindHistogram("serve_batch_size_count");
+          const int64_t rejects =
+              counter("serve_rejected_queue_full_count") +
+              counter("serve_rejected_stopped_count") +
+              counter("serve_rejected_invalid_count");
+          std::printf(
+              "[stats] qps %8.1f  queue %4lld  batch p50 %3lld  "
+              "latency us p50/p95/p99 %lld/%lld/%lld  miss %lld  "
+              "rejects %lld\n",
+              qps,
+              static_cast<long long>(depth == nullptr ? 0 : depth->value),
+              static_cast<long long>(
+                  batch == nullptr
+                      ? 0
+                      : batch->histogram.ValueAtQuantile(0.50)),
+              static_cast<long long>(
+                  latency == nullptr
+                      ? 0
+                      : latency->histogram.ValueAtQuantile(0.50)),
+              static_cast<long long>(
+                  latency == nullptr
+                      ? 0
+                      : latency->histogram.ValueAtQuantile(0.95)),
+              static_cast<long long>(
+                  latency == nullptr
+                      ? 0
+                      : latency->histogram.ValueAtQuantile(0.99)),
+              static_cast<long long>(
+                  counter("serve_deadline_miss_count")),
+              static_cast<long long>(rejects));
+          std::fflush(stdout);
+        };
+    reporter = std::make_unique<obs::PeriodicReporter>(registry.get(),
+                                                       reporter_options);
+    reporter->Start();
+  }
+
   std::printf("serving for %.1f s at %.0f offered qps (%s, %d worker(s), "
               "window %lld us)...\n",
               static_cast<double>(options.duration_micros) * 1e-6,
@@ -822,11 +938,15 @@ int CmdServe(int argc, char** argv) {
               static_cast<long long>(options.batch_window_micros));
   const serve::LoadGenResult result =
       serve::RunOpenLoopLoad(dataset->tree_r, dataset->tree_s, options);
+  if (reporter != nullptr) {
+    reporter->Stop();  // Emits the final snapshot to the file sinks.
+  }
   std::printf(
       "sustained %.1f qps (offered %.1f)\n"
       "queries: %lld submitted, %lld accepted, %lld rejected queue-full, "
       "%lld ok, %lld deadline-exceeded\n"
-      "latency us: p50 %lld  p95 %lld  p99 %lld\n"
+      "latency us: p50 %lld  p95 %lld  p99 %lld  "
+      "(histogram %lld/%lld/%lld)\n"
       "avg batch %.2f, peak queue depth %lld\n"
       "descent: %lld nodes visited, %lld node scans, %lld entry tests\n",
       result.sustained_qps, result.offered_qps,
@@ -837,11 +957,32 @@ int CmdServe(int argc, char** argv) {
       static_cast<long long>(result.deadline_exceeded),
       static_cast<long long>(result.p50_latency_us),
       static_cast<long long>(result.p95_latency_us),
-      static_cast<long long>(result.p99_latency_us), result.avg_batch_size,
+      static_cast<long long>(result.p99_latency_us),
+      static_cast<long long>(result.hist_p50_latency_us),
+      static_cast<long long>(result.hist_p95_latency_us),
+      static_cast<long long>(result.hist_p99_latency_us),
+      result.avg_batch_size,
       static_cast<long long>(result.peak_queue_depth),
       static_cast<long long>(result.descent.nodes_visited),
       static_cast<long long>(result.descent.node_scans),
       static_cast<long long>(result.descent.entry_tests));
+  if (!trace_path.empty()) {
+    if (trace::WriteChromeTrace(sink, trace_path)) {
+      std::printf("sampled request trace (every %lld) -> %s\n",
+                  static_cast<long long>(options.trace_sample_every),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    std::printf("prometheus metrics -> %s\n", metrics_out.c_str());
+  }
+  if (!metrics_json_out.empty()) {
+    std::printf("json metrics -> %s\n", metrics_json_out.c_str());
+  }
   if (options.verify_every > 0) {
     std::printf("oracle: %lld sampled, %lld mismatched\n",
                 static_cast<long long>(result.verified_queries),
@@ -874,6 +1015,9 @@ int Usage() {
       "  serve    --prefix=P [--qps=F] [--threads=N] [--batch-window=US]\n"
       "           [--duration-ms=N] [--single] [--deadline-us=N]\n"
       "           [--verify-every=N]\n"
+      "           [--stats-every-ms=N] [--metrics-out=F]\n"
+      "           [--metrics-json-out=F]\n"
+      "           [--trace=OUT.json] [--trace-sample-every=N]\n"
       "  report   [--figures=fig5,...] [--scale=F] [--jobs=N]\n"
       "           [--golden-dir=DIR] [--check | --update-goldens]\n"
       "           [--out-dir=DIR] [--cache-dir=DIR]\n"

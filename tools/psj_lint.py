@@ -39,10 +39,17 @@ leak into simulated results.
                        "// psj-lint: phase-ok(<reason>)".
   memory-order-audit   Every explicit std::memory_order_* argument needs an
                        adjacent "order: <why>" rationale comment, and inside
-                       src/native/ + src/serve/ every atomic operation must
-                       spell its order explicitly — a bare (seq_cst) default
-                       there is either an unjustified fence or an
-                       undocumented requirement.
+                       src/native/ + src/serve/ + src/obs/ every atomic
+                       operation must spell its order explicitly — a bare
+                       (seq_cst) default there is either an unjustified
+                       fence or an undocumented requirement.
+  metric-names         Every metric registered through the obs registry
+                       (DefineCounter/DefineGauge/DefineHistogram with a
+                       string literal) is snake_case with a unit suffix:
+                       "_us" for microsecond durations, "_bytes" for sizes,
+                       "_count" for dimensionless tallies and gauges. Keeps
+                       the exported Prometheus/JSON series uniform and
+                       machine-filterable.
 
 Usage: python3 tools/psj_lint.py [--root REPO] [FILES...]
 With FILES, only those files are checked (the CI changed-files mode);
@@ -92,6 +99,9 @@ THREADING_ALLOWLIST_DIRS = (
     # The serving layer: a real worker pool with bounded admission queues
     # and condition-variable batching over sealed (read-only) trees.
     "src/serve/",
+    # The observability layer: sharded atomic metric cells fed by the two
+    # host-threaded engines above, plus the periodic reporter thread.
+    "src/obs/",
 )
 THREADING_TOKENS = [
     "std::thread",
@@ -142,16 +152,25 @@ PHASE_MUTATOR = re.compile(
     r"\b(\w+)(?:\.|->)(Insert|Delete|mutable_node|AllocateNode|FreeNode)\("
 )
 
-# memory-order-audit: explicit orders need a rationale comment; the two
+# memory-order-audit: explicit orders need a rationale comment; the
 # native-threaded directories may not fall back to the seq_cst default.
 MEMORY_ORDER_DIRS = ("src", "tests", "bench", "examples")
 MEMORY_ORDER_EXPLICIT = re.compile(r"std::memory_order_\w+")
-ATOMIC_DEFAULT_DIRS = ("src/native/", "src/serve/")
+ATOMIC_DEFAULT_DIRS = ("src/native/", "src/serve/", "src/obs/")
 ATOMIC_OP = re.compile(
     r"\.(load|store|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|"
     r"exchange|compare_exchange_weak|compare_exchange_strong)\s*\("
 )
 ORDER_RATIONALE_MARK = "order:"
+
+# metric-names: Define* call sites with a string literal must register
+# snake_case names carrying a unit suffix. Single-line heuristic —
+# clang-format keeps the call and its literal together at these lengths.
+METRIC_NAME_DIRS = ("src", "tests", "bench", "examples", "tools")
+METRIC_DEFINE = re.compile(
+    r"\bDefine(?:Counter|Gauge|Histogram)\(\s*\"([^\"]*)\""
+)
+METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(_us|_bytes|_count)$")
 
 CXX_SUFFIXES = {".cc", ".h"}
 
@@ -268,6 +287,10 @@ def lint_file(path, rel, errors):
                 and not has_order_rationale(raw_lines, lineno - 1)
             ):
                 report("memory-order-audit", ATOMIC_OP.search(code).group(0))
+        if rel.startswith(METRIC_NAME_DIRS):
+            for match in METRIC_DEFINE.finditer(code):
+                if not METRIC_NAME.match(match.group(1)):
+                    report("metric-names", f'"{match.group(1)}"')
 
 
 def lint_golden_schema(root, errors):
@@ -418,6 +441,26 @@ def self_test():
         ),
         # …while elsewhere the default order stays legal.
         ("src/core/x.cc", "n.fetch_add(1);\n", None),
+        # The observability layer is allowlisted for threading and wall
+        # clocks…
+        ("src/obs/x.cc", "#include <atomic>\nstd::atomic<int> n;\n", None),
+        ("src/obs/x.cc", "steady_clock::now();\n", None),
+        # …but the allowlist is the directory, not the prefix string…
+        ("src/observer.cc", "#include <thread>\n", "no-host-threading"),
+        # …and its atomics must spell their order like the other
+        # host-threaded directories.
+        ("src/obs/x.cc", "n.fetch_add(1);\n", "memory-order-audit"),
+        # metric-names: snake_case with a unit suffix is clean…
+        ("src/serve/x.cc", 'm.DefineCounter("serve_ops_count");\n', None),
+        ("src/obs/x.cc", 'm.DefineHistogram("obs_latency_us");\n', None),
+        ("tools/x.cc", 'r.DefineGauge("rtree_seal_us");\n', None),
+        ("bench/x.cc", 'r.DefineCounter("bench_io_bytes");\n', None),
+        # …camelCase, missing suffix, and bad leading characters are not…
+        ("src/serve/x.cc", 'm.DefineCounter("serveOps_count");\n', "metric-names"),
+        ("src/serve/x.cc", 'm.DefineHistogram("serve_latency");\n', "metric-names"),
+        ("src/obs/x.cc", 'm.DefineGauge("_depth_count");\n', "metric-names"),
+        # …and a commented-out call site does not fire.
+        ("src/join/x.cc", '// m.DefineCounter("badName")\n', None),
     ]
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
